@@ -1,0 +1,28 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one of the paper's tables/figures.  The measured
+quantity of interest is *simulated* time computed by the experiment runner;
+``benchmark.pedantic(rounds=1)`` wraps each runner so pytest-benchmark also
+records the harness wall-clock without re-running the heavy simulations.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Execute ``fn`` exactly once under pytest-benchmark and return its
+    result (the experiment runners are deterministic and expensive)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

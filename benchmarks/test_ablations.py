@@ -1,0 +1,148 @@
+"""Ablation benches for DESIGN.md's called-out design choices."""
+
+from repro.bench.ablations import (
+    run_chunk_sweep,
+    run_format_crossover,
+    run_levelize_ablation,
+    run_split_sweep,
+)
+from repro.workloads import TABLE4, by_abbr
+
+
+def test_levelize_executors(once):
+    """Algorithm 5: dynamic parallelism beats host-launched kernels, and
+    both schedules match the serial CPU one (checked inside)."""
+    res = once(run_levelize_ablation, by_abbr("OT2"))
+    assert res.dynamic_vs_hostlaunch > 2.0
+    print()
+    print(res)
+
+
+def test_chunk_size_sweep(once):
+    """Larger out-of-core chunks amortize launches until occupancy
+    saturates — the knee Algorithm 4 exploits."""
+    res = once(run_chunk_sweep, by_abbr("OT2"))
+    times = [p.symbolic_seconds for p in res.points]
+    # monotone non-increasing up to saturation (allow 2% noise)
+    for a, b in zip(times, times[1:]):
+        assert b <= a * 1.02
+    # iterations shrink with chunk size
+    iters = [p.iterations for p in res.points]
+    assert iters == sorted(iters, reverse=True)
+    print()
+    print(res)
+
+
+def test_split_fraction_sweep(once):
+    """Algorithm 4's 50% threshold sits near the sweep optimum."""
+    res = once(run_split_sweep, by_abbr("PR"))
+    best = res.best()
+    half = next(p for p in res.points if p.split_fraction == 0.5)
+    assert half.symbolic_seconds <= best.symbolic_seconds * 1.10
+    assert best.symbolic_seconds <= res.naive_seconds
+    print()
+    print(res)
+
+
+def test_numeric_format_crossover(once):
+    """The §3.4 auto rule flips from dense to CSC exactly at M < TB_max."""
+    res = once(run_format_crossover, TABLE4[0])
+    assert res.rule_respected()
+    # extra observation recorded by the ablation: CSC never loses badly on
+    # these meshes because the dense pack traffic persists at any M
+    assert res.csc_never_slower(tolerance=0.25)
+    print()
+    print(res)
+
+
+def test_multipart_assignment(once):
+    """§3.2's extension: more than 2 parts — diminishing returns beyond 2
+    (more kernel launches for less scratch saved)."""
+    from repro.bench.ablations import run_parts_sweep
+
+    res = once(run_parts_sweep, by_abbr("PR"))
+    t = {p.num_parts: p.symbolic_seconds for p in res.points}
+    assert t[2] <= t[1]                    # Algorithm 4 beats Algorithm 3
+    assert t[res.best().num_parts] >= t[2] * 0.9  # little left beyond 2
+    print()
+    print(res)
+
+
+def test_etree_vs_levelization(once):
+    """§3.3: levelization (the paper's choice) is at least as parallel as
+    the elimination-tree scheduling of earlier solvers."""
+    from repro.bench.ablations import run_scheduling_comparison
+
+    res = once(run_scheduling_comparison, by_abbr("MI"))
+    assert res.etree_levels >= res.levelize_levels
+    assert res.levelize_speedup >= 0.999
+    print()
+    print(res)
+
+
+def test_fig4_robust_to_cost_constants(once):
+    """The reproduction's Fig. 4 conclusions survive 2x perturbation of
+    the secondary cost-model constants."""
+    from repro.bench.ablations import run_robustness
+
+    res = once(
+        run_robustness,
+        (by_abbr("AP"), by_abbr("OT2"), by_abbr("G7"), by_abbr("MI"),
+         by_abbr("CR2")),
+    )
+    assert res.all_hold()
+    print()
+    print(res)
+
+
+def test_dependency_edge_pruning(once):
+    """GLU 3.0's relaxed dependency detection: most dependency edges are
+    transitively implied, and pruning them speeds up levelization without
+    changing a single level."""
+    from repro.bench.ablations import run_sparsify_ablation
+
+    res = once(run_sparsify_ablation, by_abbr("PR"))
+    assert res.edge_reduction > 0.5
+    assert res.speedup > 1.0
+    print()
+    print(res)
+
+
+def test_dtype_sensitivity(once):
+    """§3.4: float64 halves M = L/(n x sizeof(dtype)) on the Table 4
+    device, keeping the CSC switch engaged."""
+    from repro.bench.ablations import run_dtype_ablation
+
+    res = once(run_dtype_ablation, TABLE4[0])
+    assert res.halving_holds()
+    assert res.m_f32 == 124
+    print()
+    print(res)
+
+
+
+def test_levelized_vs_serial_scheduling(once):
+    """§2.2: levelized column scheduling beats the serial column order;
+    the margin is modest on type-C-heavy matrices because sub-column
+    parallelism (GLU's type-C insight) carries the load there too."""
+    from repro.bench.ablations import run_scheduling_value
+
+    res = once(run_scheduling_value, by_abbr("OT2"))
+    assert res.speedup > 1.0
+    print()
+    print(res)
+
+
+def test_kernel_mode_taxonomy(once):
+    """GLU 3.0's adaptive type A/B/C kernel modes are never worse than
+    forcing any single mode (5% tolerance)."""
+    from repro.bench.ablations import run_kernel_mode_ablation
+
+    def run_all():
+        return [run_kernel_mode_ablation(by_abbr(a))
+                for a in ("OT2", "MI", "PR")]
+
+    for res in once(run_all):
+        assert res.adaptive_never_worse(0.05), str(res)
+        print()
+        print(res)

@@ -1,0 +1,21 @@
+"""The full claim table: every paper claim must hold in one suite run."""
+
+from repro.bench.experiments import run_all
+
+
+def test_all_paper_claims_hold(once):
+    suite = once(run_all, fast=True)
+    for name, paper, measured, ok in suite.claims():
+        print(f"  {name}: paper[{paper}] measured[{measured}] "
+              f"{'OK' if ok else 'FAIL'}")
+    assert suite.all_claims_hold()
+
+
+def test_markdown_report_renders(once):
+    suite = once(run_all, fast=True)
+    md = suite.render_markdown()
+    assert "# EXPERIMENTS" in md
+    assert "| experiment | paper | measured | holds |" in md
+    assert "NO" not in md.split("## Full outputs")[0].replace(
+        "NOTE", ""
+    ) or suite.all_claims_hold()

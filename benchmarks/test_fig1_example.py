@@ -1,0 +1,19 @@
+"""Figure 1 — the paper's worked example, reproduced exactly."""
+
+from repro.bench.fig1_walkthrough import run_fig1
+
+
+def test_figure1_walkthrough(once):
+    w = once(run_fig1)
+    # Figure 1(d)'s exact level table
+    assert w.level_table() == [
+        (0, [1, 2, 3, 6, 7]),
+        (1, [4, 5]),
+        (2, [8]),
+        (3, [9]),
+        (4, [10]),
+    ]
+    # Figure 1(a)'s circled fill-in
+    assert w.new_fill_positions == [(9, 8)]
+    print()
+    print(w)

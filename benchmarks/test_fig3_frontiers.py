@@ -1,0 +1,17 @@
+"""Figure 3 — frontier size per out-of-core iteration (PR / AK)."""
+
+from repro.bench.fig3 import run_fig3
+
+
+def test_fig3_frontier_profiles(once):
+    res = once(run_fig3)
+    assert {s.abbr for s in res.series} == {"PR", "AK"}
+    for s in res.series:
+        # paper: "the number of the frontiers is usually large for the
+        # last few iterations, and small otherwise"
+        assert s.tail_is_large(), f"{s.abbr}: no tail spike\n{s}"
+        # growth with source-row id: the tail maximum dominates the head
+        m = s.profile.max_frontier
+        assert m[-1] > m[: len(m) // 2].max()
+    print()
+    print(res)

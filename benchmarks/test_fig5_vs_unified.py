@@ -1,0 +1,18 @@
+"""Figure 5 — out-of-core vs prefetch-enabled unified memory (7 matrices).
+
+Paper: 1.06-2.22x (abstract: 1.2-2.2x), UM most competitive on the densest
+matrices (WI, MI) and weakest on the sparsest (R15, OT2).
+"""
+
+from repro.bench.fig5 import run_fig5
+
+
+def test_fig5_unified_comparison(once):
+    res = once(run_fig5)
+    lo, hi = res.speedup_range()
+    assert 1.0 <= lo and hi <= 2.5, (lo, hi)
+    by = {r.abbr: r for r in res.rows}
+    # density trend: the sparsest matrix gains the most
+    assert by["OT2"].speedup == max(res.speedups)
+    print()
+    print(res)

@@ -1,0 +1,21 @@
+"""Figure 6 — symbolic-phase times: ooc vs UM with/without prefetching.
+
+Paper: without prefetching UM is strictly worse; the gap widens for
+low-density matrices (R15, OT2).
+"""
+
+from repro.bench.fig6 import run_fig6
+
+
+def test_fig6_symbolic_three_way(once):
+    res = once(run_fig6)
+    by = {r.abbr: r for r in res.rows}
+    for r in res.rows:
+        assert r.ooc < r.um_prefetch < r.um_no_prefetch, r
+    # density trend on the no-prefetch gap
+    assert (by["OT2"].speedup_vs_no_prefetch
+            > by["WI"].speedup_vs_no_prefetch)
+    assert (by["R15"].speedup_vs_no_prefetch
+            > by["MI"].speedup_vs_no_prefetch)
+    print()
+    print(res)

@@ -1,0 +1,18 @@
+"""Figure 8 — numeric factorization: binary-search sorted CSC vs dense.
+
+Paper: 2.88-3.33x speedup on the Table 4 matrices (binary-search blocks
+fixed at 160, dense capped at M < 160).
+"""
+
+from repro.bench.fig8 import run_fig8
+
+
+def test_fig8_csc_speedup(once):
+    res = once(run_fig8)
+    lo, hi = res.speedup_range()
+    assert 2.5 <= lo and hi <= 3.8, (lo, hi)
+    for r in res.rows:
+        assert r.csc_blocks == 160  # fixed per the paper's footnote 2
+        assert r.dense_max_blocks < 160
+    print()
+    print(res)

@@ -1,0 +1,25 @@
+"""Table 1 — device specification (and simulator bring-up cost)."""
+
+from repro.core import SolverConfig, factorize
+from repro.gpusim import V100
+from repro.workloads import circuit_like
+
+
+def test_table1_device_spec(once):
+    """The simulated device must be Table 1's V100."""
+    spec = once(lambda: V100)
+    assert spec.num_sms == 80
+    assert spec.fp32_cores == 5120
+    assert spec.memory_interface == "4096-bit HBM2"
+    assert spec.max_threads_per_block == 1024
+    assert spec.max_registers_per_thread == 255
+    assert spec.shared_memory_per_sm_kb == 96
+    assert spec.max_concurrent_blocks == 160  # TB_max (§3.4 footnote)
+
+
+def test_simulator_pipeline_bringup(once):
+    """End-to-end pipeline on a small instance — the suite's smoke bench."""
+    a = circuit_like(300, 8.0, seed=1)
+    res = once(factorize, a, SolverConfig())
+    assert res.sim_seconds > 0
+    assert res.gpu.pool.live_bytes == 0

@@ -1,0 +1,23 @@
+"""Table 3 — GPU page-fault groups and fault-service time shares.
+
+Paper shapes: prefetch cuts groups ~3.5-4x; service share 33-86% (w/o p),
+19-65% (w/ p); the out-of-core version spends well under 1% on transfers;
+shares shrink with density.
+"""
+
+from repro.bench.table3 import run_table3
+
+
+def test_table3_fault_accounting(once):
+    res = once(run_table3)
+    by = {r.abbr: r for r in res.rows}
+    for r in res.rows:
+        assert 2.5 <= r.group_reduction <= 6.0, r
+        assert r.pct_fault_prefetch < r.pct_fault_no_prefetch
+        assert r.pct_transfer_ooc < 1.0
+        assert 10.0 < r.pct_fault_no_prefetch < 90.0
+    # density trend of the service share (paper: OT2 78% vs WI 33% w/o p)
+    assert (by["OT2"].pct_fault_no_prefetch
+            > by["WI"].pct_fault_no_prefetch)
+    print()
+    print(res)

@@ -1,0 +1,17 @@
+"""Table 4 — very large matrices: the dense format's max #blocks.
+
+The scaled devices reproduce the paper's quotients exactly:
+124 / 119 / 109 / 102, all below TB_max = 160.
+"""
+
+from repro.bench.table4 import run_table4
+
+
+def test_table4_max_blocks(once):
+    res = once(run_table4)
+    assert [r.max_blocks for r in res.rows] == [124, 119, 109, 102]
+    for r in res.rows:
+        assert r.under_occupied
+        assert r.tb_max == 160
+    print()
+    print(res)

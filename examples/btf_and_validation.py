@@ -1,0 +1,84 @@
+"""BTF factorization, a-posteriori validation, and factor persistence.
+
+Circuit matrices decompose into many independent sub-circuits coupled
+through a few global nodes — exactly the structure KLU's block triangular
+form exploits (paper §5).  This example:
+
+1. permutes a multi-block circuit matrix to BTF and factorizes only the
+   irreducible diagonal blocks (1x1 blocks reduce to scalar divisions);
+2. validates the monolithic factorization with the self-check report,
+   including a 1-norm condition estimate;
+3. persists the factors to ``.npz`` and solves again after reloading —
+   the analyze-once / reuse-forever workflow across process lifetimes.
+
+Usage::
+
+    python examples/btf_and_validation.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import SolverConfig, factorize
+from repro.core import factorize_btf
+from repro.gpusim import scaled_device, scaled_host
+from repro.numeric import lu_solve_permuted
+from repro.sparse import load_factors, residual_norm, save_factors
+from repro.validate import check_factorization
+from repro.workloads import circuit_like
+
+
+def main() -> None:
+    a = circuit_like(n=1000, nnz_per_row=7.0, seed=13)
+    cfg = SolverConfig(
+        device=scaled_device(16 << 20), host=scaled_host(128 << 20)
+    )
+    rng = np.random.default_rng(2)
+    b = rng.normal(size=a.n_rows)
+
+    # ---- 1. block triangular form -------------------------------------
+    btf = factorize_btf(a, cfg)
+    sizes = btf.btf.block_sizes()
+    print(
+        f"BTF: {btf.num_blocks} diagonal blocks "
+        f"(largest {int(sizes.max())}, "
+        f"{btf.num_blocks - btf.factorized_blocks} are 1x1 scalar pivots); "
+        f"{btf.factorized_blocks} blocks LU-factorized, "
+        f"sim {btf.sim_seconds * 1e3:.3f} ms"
+    )
+    x_btf = btf.solve(b)
+    print(f"BTF solve residual: {residual_norm(a, x_btf, b):.2e}")
+
+    # ---- 2. monolithic factorization + validation -----------------------
+    res = factorize(a, cfg)
+    print(
+        f"\nmonolithic: fill-ins {res.fill_ins}, "
+        f"sim {res.sim_seconds * 1e3:.3f} ms"
+    )
+    report = check_factorization(a, res, estimate_condition=True)
+    print(report)
+
+    # both paths agree
+    x_mono = res.solve(b)
+    print(f"max |x_btf - x_mono| = {np.abs(x_btf - x_mono).max():.2e}")
+
+    # ---- 3. persist factors, reload, solve again ------------------------
+    with tempfile.TemporaryDirectory() as td:
+        path = Path(td) / "factors.npz"
+        save_factors(
+            path, res.L, res.U,
+            row_perm=res.pre.row_perm, col_perm=res.pre.col_perm,
+        )
+        L, U, transforms = load_factors(path)
+        x_loaded = lu_solve_permuted(L, U, b, **transforms)
+        print(
+            f"\nreloaded factors from {path.name}: "
+            f"residual {residual_norm(a, x_loaded, b):.2e} "
+            f"({path.stat().st_size / 1024:.0f} KiB on disk)"
+        )
+
+
+if __name__ == "__main__":
+    main()

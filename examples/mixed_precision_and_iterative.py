@@ -1,0 +1,85 @@
+"""Mixed precision and the iterative fallback path.
+
+The paper evaluates in single precision ("Our experiments use float as the
+data type", §4.1) — viable for circuit simulation because the factorization
+is a preconditioner-quality operation that refinement or Krylov smoothing
+polishes.  This example demonstrates the full accuracy toolbox:
+
+1. factorize in float32 (the paper's dtype) and in float64; compare
+   residuals;
+2. recover double-precision accuracy from the float32 factors with
+   iterative refinement (one sweep);
+3. solve the same system with ILU(0)-preconditioned GMRES — the iterative
+   fallback when even out-of-core factorization is too expensive — and
+   with exact-LU-preconditioned GMRES (converges immediately, tying the
+   two solver families together).
+
+Usage::
+
+    python examples/mixed_precision_and_iterative.py
+"""
+
+import numpy as np
+
+from repro import SolverConfig, factorize
+from repro.gpusim import scaled_device, scaled_host
+from repro.numeric import (
+    gmres,
+    ilu0_preconditioner,
+    iterative_refinement,
+    make_lu_solver,
+    pivot_growth,
+)
+from repro.sparse import residual_norm
+from repro.workloads import circuit_like
+
+
+def main() -> None:
+    a = circuit_like(n=1500, nnz_per_row=8.0, seed=23)
+    rng = np.random.default_rng(3)
+    b = rng.normal(size=a.n_rows)
+    mem = 24 << 20
+    base = dict(device=scaled_device(mem), host=scaled_host(8 * mem))
+
+    # ---- 1. float64 vs float32 factorization ---------------------------
+    r64 = factorize(a, SolverConfig(**base))
+    r32 = factorize(
+        a, SolverConfig(**base, compute_dtype=np.dtype(np.float32))
+    )
+    res64 = residual_norm(a, r64.solve(b), b)
+    res32 = residual_norm(a, r32.solve(b), b)
+    print(f"float64 factorization: residual {res64:.2e}, "
+          f"pivot growth {pivot_growth(r64.pre.matrix, r64.U):.3g}")
+    print(f"float32 factorization: residual {res32:.2e} "
+          f"(the paper's dtype)")
+
+    # ---- 2. refinement rescues single precision -------------------------
+    solver32 = make_lu_solver(
+        r32.L, r32.U,
+        row_perm=r32.pre.row_perm, col_perm=r32.pre.col_perm,
+    )
+    refined = iterative_refinement(a, b, solver32, max_iter=5, tol=1e-12)
+    print(
+        f"float32 + iterative refinement: residual "
+        f"{refined.final_residual:.2e} after {refined.iterations} sweep(s)"
+    )
+
+    # ---- 3. the iterative fallback ----------------------------------------
+    plain = gmres(a, b, tol=1e-10, restart=40, max_outer=20)
+    prec = gmres(a, b, preconditioner=ilu0_preconditioner(a), tol=1e-10)
+    exact = gmres(a, b, preconditioner=solver32, tol=1e-10)
+    print("\nGMRES comparison (tol 1e-10):")
+    print(f"  unpreconditioned : {plain.iterations:4d} iterations "
+          f"(converged={plain.converged})")
+    print(f"  ILU(0)           : {prec.iterations:4d} iterations "
+          f"(converged={prec.converged})")
+    print(f"  exact LU (f32)   : {exact.iterations:4d} iterations "
+          f"(converged={exact.converged})")
+    print(
+        f"\nall solutions agree with the direct solve to "
+        f"{max(np.abs(prec.x - r64.solve(b)).max(), np.abs(exact.x - r64.solve(b)).max()):.2e}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""Out-of-core demo: a matrix whose symbolic intermediates exceed the GPU.
+
+Reproduces the paper's core scenario (§3.2 / Table 2) on a scaled device:
+
+1. in-core symbolic factorization fails with a device OOM — the ``c x n``
+   per-row scratch for all rows needs ~6 n^2 bytes;
+2. the unified-memory fallback works but drowns in page-fault servicing;
+3. the explicit out-of-core scheme works and is fastest, and the dynamic
+   parallelism assignment (Algorithm 4) shaves off a further slice.
+
+Usage::
+
+    python examples/out_of_core_demo.py
+"""
+
+from repro.baselines import unified_symbolic
+from repro.core import SolverConfig, outofcore_symbolic
+from repro.errors import DeviceMemoryError
+from repro.gpusim import GPU, scaled_device, scaled_host
+from repro.workloads import fem_like
+
+
+def fresh(cfg: SolverConfig) -> GPU:
+    return GPU(spec=cfg.device, host=cfg.host, cost=cfg.cost_model)
+
+
+def main() -> None:
+    a = fem_like(n=1500, nnz_per_row=30.0, seed=5)
+    n = a.n_rows
+    all_rows_scratch = 6 * n * n * 4
+    device_mem = all_rows_scratch // 10  # a Table 2-style device
+    # host sized so the O(n^2) unified-memory scratch still fits — the
+    # §4.3 eligibility condition for the UM comparison
+    cfg = SolverConfig(
+        device=scaled_device(device_mem),
+        host=scaled_host(2 * all_rows_scratch),
+        symbolic_mode="outofcore",
+    )
+    print(
+        f"matrix n={n}, nnz={a.nnz}; all-rows symbolic scratch "
+        f"{all_rows_scratch / 2**20:.1f} MiB vs device "
+        f"{device_mem / 2**20:.1f} MiB"
+    )
+
+    # 1. in-core attempt: must OOM ------------------------------------
+    gpu = fresh(cfg)
+    try:
+        gpu.malloc(all_rows_scratch, "in-core symbolic scratch")
+        raise AssertionError("unexpectedly fit")
+    except DeviceMemoryError as e:
+        print(f"\nin-core symbolic: {e}")
+
+    # 2. unified memory (with and without prefetch) ---------------------
+    gpu_np = fresh(cfg)
+    um_np = unified_symbolic(gpu_np, a, cfg, prefetch=False)
+    pct_np = 100 * gpu_np.ledger.seconds("fault_service") / um_np.sim_seconds
+    gpu_p = fresh(cfg)
+    um_p = unified_symbolic(gpu_p, a, cfg, prefetch=True)
+    pct_p = 100 * gpu_p.ledger.seconds("fault_service") / um_p.sim_seconds
+    print(
+        f"unified memory w/o prefetch: {um_np.sim_seconds * 1e3:8.3f} ms  "
+        f"({gpu_np.ledger.get_count('um_fault_groups')} fault groups, "
+        f"{pct_np:.0f}% servicing faults)"
+    )
+    print(
+        f"unified memory w/  prefetch: {um_p.sim_seconds * 1e3:8.3f} ms  "
+        f"({gpu_p.ledger.get_count('um_fault_groups')} fault groups, "
+        f"{pct_p:.0f}% servicing faults)"
+    )
+
+    # 3. explicit out-of-core: naive and dynamic ------------------------
+    gpu_naive = fresh(cfg)
+    naive = outofcore_symbolic(gpu_naive, a, cfg, dynamic=False)
+    pct_tr = 100 * gpu_naive.ledger.seconds("transfer") / naive.sim_seconds
+    print(
+        f"out-of-core (Algorithm 3):   {naive.sim_seconds * 1e3:8.3f} ms  "
+        f"({naive.iterations} iterations, {pct_tr:.2f}% moving data)"
+    )
+    gpu_dyn = fresh(cfg)
+    dyn = outofcore_symbolic(gpu_dyn, a, cfg, dynamic=True)
+    gain = 100 * (1 - dyn.sim_seconds / naive.sim_seconds)
+    print(
+        f"out-of-core (Algorithm 4):   {dyn.sim_seconds * 1e3:8.3f} ms  "
+        f"({dyn.iterations} iterations, split at row {dyn.split_point}, "
+        f"{gain:+.1f}% vs naive)"
+    )
+
+    # all three produced identical structure
+    assert naive.filled.same_pattern(dyn.filled)
+    assert naive.filled.same_pattern(um_p.filled)
+    print(
+        f"\nall paths agree: filled nnz = {naive.filled.nnz} "
+        f"({naive.filled.nnz - a.nnz} fill-ins)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Quickstart: factorize and solve a sparse system end to end.
+
+Runs the full pipeline of the paper — out-of-core symbolic factorization,
+GPU levelization with dynamic parallelism, and GPU numeric factorization —
+on a simulated V100, then solves ``A x = b`` and prints the execution
+record.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import SolverConfig, factorize
+from repro.sparse import residual_norm
+from repro.workloads import circuit_like
+
+
+def main() -> None:
+    # A circuit-simulation-style sparse matrix: 2,000 unknowns, ~8 nonzeros
+    # per row, unsymmetric, diagonally dominant.
+    a = circuit_like(n=2000, nnz_per_row=8.0, seed=7)
+    print(f"matrix: n={a.n_rows}, nnz={a.nnz} ({a.nnz / a.n_rows:.1f}/row)")
+
+    # Default configuration = the paper's primary design point: explicit
+    # out-of-core symbolic + dynamic parallelism assignment, GPU Kahn
+    # levelization, automatic dense/CSC numeric format (§3.4 rule).
+    result = factorize(a, SolverConfig())
+
+    print(f"fill-ins introduced: {result.fill_ins}")
+    print(f"levels: {result.schedule.num_levels}")
+    print(f"numeric format chosen: {result.numeric.data_format}")
+    print(f"out-of-core iterations: {result.symbolic.iterations}")
+
+    bd = result.breakdown()
+    print(
+        f"simulated time: {bd.total * 1e3:.3f} ms "
+        f"(symbolic {bd.symbolic * 1e3:.3f}, levelize {bd.levelize * 1e3:.3f}, "
+        f"numeric {bd.numeric * 1e3:.3f})"
+    )
+
+    # Solve against a real right-hand side and verify.
+    rng = np.random.default_rng(0)
+    b = rng.normal(size=a.n_rows)
+    x = result.solve(b)
+    print(f"relative residual ||Ax-b||/||b||: {residual_norm(a, x, b):.2e}")
+
+
+if __name__ == "__main__":
+    main()

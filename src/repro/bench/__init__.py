@@ -1,0 +1,22 @@
+"""Experiment harness: one runner per paper figure/table (see DESIGN.md §4)."""
+
+from .report import format_series, format_table
+from .runner import (
+    MatrixArtifacts,
+    prepare,
+    run_glu3,
+    run_outofcore,
+    run_symbolic_only,
+    run_unified,
+)
+
+__all__ = [
+    "MatrixArtifacts",
+    "prepare",
+    "run_outofcore",
+    "run_glu3",
+    "run_unified",
+    "run_symbolic_only",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,121 @@
+"""Out-of-core overhead vs device memory: the cost of not fitting.
+
+The paper's design exists because symbolic intermediates exceed device
+memory; this sweep quantifies what that costs.  For one matrix, run the
+out-of-core symbolic phase at device sizes from "barely holds one chunk"
+up to "everything fits in core" and report the overhead relative to the
+in-core run — the curve a practitioner consults when sizing a GPU for a
+workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import SolverConfig, outofcore_symbolic
+from ..gpusim import GPU, scaled_device, scaled_host
+from ..preprocess import preprocess
+from ..symbolic import symbolic_fill_reference
+from ..workloads import MatrixSpec
+from .report import format_table
+
+
+@dataclass(frozen=True)
+class DeviceSweepPoint:
+    device_bytes: int
+    fraction_of_incore: float   # device size / all-rows requirement
+    symbolic_seconds: float     # naive out-of-core (Algorithm 3)
+    dynamic_seconds: float      # dynamic assignment (Algorithm 4)
+    iterations: int
+    overhead_vs_incore: float   # naive time / in-core time
+
+    @property
+    def dynamic_overhead(self) -> float:
+        return self.dynamic_seconds / max(self.symbolic_seconds, 1e-30)
+
+
+@dataclass
+class DeviceSweepResult:
+    abbr: str
+    incore_seconds: float
+    points: list[DeviceSweepPoint]
+
+    def max_overhead(self) -> float:
+        return max(p.overhead_vs_incore for p in self.points)
+
+    def monotone_nonincreasing(self, tolerance: float = 0.05) -> bool:
+        """More memory should never make symbolic much slower."""
+        t = [p.symbolic_seconds for p in self.points]
+        return all(b <= a * (1 + tolerance) for a, b in zip(t, t[1:]))
+
+    def __str__(self) -> str:
+        rows = [
+            (f"{p.fraction_of_incore:.3f}", p.device_bytes // 1024,
+             p.symbolic_seconds, p.dynamic_seconds, p.iterations,
+             p.overhead_vs_incore)
+            for p in self.points
+        ]
+        rows.append(
+            ("in-core", "-", self.incore_seconds, self.incore_seconds, 2,
+             1.0)
+        )
+        return format_table(
+            ["mem fraction", "device KiB", "naive (s)", "dynamic (s)",
+             "iters", "naive overhead"],
+            rows,
+            title=f"Device-memory sweep — out-of-core overhead "
+                  f"[{self.abbr}]",
+        )
+
+
+def run_device_sweep(
+    spec: MatrixSpec,
+    fractions: tuple[float, ...] = (0.02, 0.05, 0.1, 0.25, 0.5),
+) -> DeviceSweepResult:
+    """Sweep device memory as fractions of the all-rows requirement."""
+    a = spec.generate()
+    pre = preprocess(a)
+    work = pre.matrix
+    filled = symbolic_fill_reference(work)
+    n = work.n_rows
+    base_cfg = SolverConfig()
+    resident = (
+        (n + 1) * 4 + work.nnz * 8          # graph
+        + (n + 1) * 4 + filled.nnz * 8      # factorized matrix
+        + n * 4                              # fill counts
+    )
+    all_rows = base_cfg.scratch_bytes_per_row(n) * n
+
+    def run_at(device_bytes: int, *, dynamic: bool):
+        device = scaled_device(int(device_bytes))
+        cfg = SolverConfig(device=device, host=scaled_host(8 * device_bytes))
+        gpu = GPU(spec=device, host=cfg.host, cost=cfg.cost_model)
+        sym = outofcore_symbolic(gpu, work, cfg, dynamic=dynamic)
+        return sym
+
+    incore = run_at(int(1.2 * resident) + all_rows, dynamic=False)
+    points = []
+    for f in sorted(fractions):
+        device_bytes = int(1.2 * resident) + max(
+            int(f * all_rows), base_cfg.scratch_bytes_per_row(n)
+        )
+        naive = run_at(device_bytes, dynamic=False)
+        dyn = run_at(device_bytes, dynamic=True)
+        points.append(
+            DeviceSweepPoint(
+                device_bytes=device_bytes,
+                fraction_of_incore=f,
+                symbolic_seconds=naive.sim_seconds,
+                dynamic_seconds=dyn.sim_seconds,
+                iterations=naive.iterations,
+                overhead_vs_incore=naive.sim_seconds
+                / max(incore.sim_seconds, 1e-30),
+            )
+        )
+    return DeviceSweepResult(
+        abbr=spec.abbr,
+        incore_seconds=incore.sim_seconds,
+        points=points,
+    )

@@ -1,0 +1,61 @@
+"""Figure 3: frontier size per out-of-core iteration.
+
+Plots (as a data series) the aggregate frontier population per out-of-core
+iteration for the two Fig. 3 matrices (pre2-like and audikw_1-like).
+Paper shape: frontier requirements grow with the source-row id — a
+consequence of Theorem 1 (larger sources admit more intermediates) — and
+are "usually large for the last few iterations, and small otherwise".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..symbolic import FrontierProfile, frontier_profile, symbolic_fill_reference
+from ..workloads import FIG3_SPECS, MatrixSpec
+from .report import format_series
+
+
+@dataclass
+class Fig3Series:
+    abbr: str
+    profile: FrontierProfile
+
+    def tail_is_large(self, *, tail_iters: int = 3, factor: float = 2.0
+                      ) -> bool:
+        """Paper claim: the last few iterations see the largest frontiers."""
+        m = self.profile.max_frontier
+        if len(m) <= tail_iters:
+            return True
+        tail = m[-tail_iters:].max()
+        body = m[:-tail_iters].mean()
+        return bool(tail >= factor * max(body, 1.0))
+
+    def __str__(self) -> str:
+        return format_series(
+            f"Figure 3 [{self.abbr}] max frontier per iteration",
+            self.profile.chunk_starts,
+            self.profile.max_frontier,
+        )
+
+
+@dataclass
+class Fig3Result:
+    series: list[Fig3Series]
+
+    def __str__(self) -> str:
+        return "\n".join(str(s) for s in self.series)
+
+
+def run_fig3(
+    specs: tuple[MatrixSpec, ...] = FIG3_SPECS, *, chunk_rows: int = 144
+) -> Fig3Result:
+    """Regenerate Figure 3's series with the out-of-core chunk size."""
+    out = []
+    for spec in specs:
+        a = spec.generate()
+        filled = symbolic_fill_reference(a)
+        out.append(Fig3Series(spec.abbr, frontier_profile(filled, chunk_rows)))
+    return Fig3Result(out)

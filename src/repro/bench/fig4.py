@@ -1,0 +1,108 @@
+"""Figure 4: out-of-core GPU pipeline vs the modified GLU 3.0 baseline.
+
+For every Table 2 matrix, runs both solvers end to end and reports
+normalized execution times split into symbolic and numeric phases, plus the
+speedup.  Paper result: speedups 1.13-32.65, larger for higher ``nnz/n``
+("GPUs become more efficient as computations get dense").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..workloads import MatrixSpec, TABLE2
+from .report import format_table
+from .runner import prepare, run_glu3, run_outofcore
+
+
+@dataclass(frozen=True)
+class Fig4Row:
+    abbr: str
+    density: float  # paper nnz/n
+    glu3_symbolic: float
+    glu3_numeric: float
+    glu3_total: float
+    ooc_symbolic: float
+    ooc_numeric: float
+    ooc_total: float
+
+    @property
+    def speedup(self) -> float:
+        return self.glu3_total / self.ooc_total
+
+    def normalized(self) -> tuple[float, float, float, float]:
+        """(glu3 sym, glu3 num, ooc sym, ooc num) normalized to glu3 total,
+        the stacked-bar encoding of the figure."""
+        t = self.glu3_total
+        return (
+            self.glu3_symbolic / t,
+            self.glu3_numeric / t,
+            self.ooc_symbolic / t,
+            self.ooc_numeric / t,
+        )
+
+
+@dataclass
+class Fig4Result:
+    rows: list[Fig4Row]
+
+    @property
+    def speedups(self) -> list[float]:
+        return [r.speedup for r in self.rows]
+
+    def speedup_range(self) -> tuple[float, float]:
+        s = self.speedups
+        return (min(s), max(s))
+
+    def density_speedup_correlation(self) -> float:
+        """Spearman rank correlation between nnz/n and speedup — the
+        paper's qualitative claim is a positive association."""
+        import numpy as np
+
+        d = np.array([r.density for r in self.rows])
+        s = np.array(self.speedups)
+        rd = np.argsort(np.argsort(d)).astype(float)
+        rs = np.argsort(np.argsort(s)).astype(float)
+        rd -= rd.mean()
+        rs -= rs.mean()
+        denom = float(np.sqrt((rd**2).sum() * (rs**2).sum()))
+        return float((rd * rs).sum() / denom) if denom else 0.0
+
+    def __str__(self) -> str:
+        return format_table(
+            ["matrix", "nnz/n", "glu3 sym", "glu3 num", "ooc sym",
+             "ooc num", "speedup"],
+            [
+                (r.abbr, r.density, r.glu3_symbolic, r.glu3_numeric,
+                 r.ooc_symbolic, r.ooc_numeric, r.speedup)
+                for r in self.rows
+            ],
+            title="Figure 4 — end-to-end times (simulated s): "
+                  "out-of-core GPU vs modified GLU 3.0",
+        )
+
+
+def run_fig4(specs: tuple[MatrixSpec, ...] = TABLE2) -> Fig4Result:
+    """Regenerate Figure 4 over ``specs`` (default: all 18 Table 2 matrices)."""
+    rows = []
+    for spec in specs:
+        art = prepare(spec)
+        glu = run_glu3(art)
+        ooc = run_outofcore(art)
+        gb, ob = glu.breakdown(), ooc.breakdown()
+        # two-way split as in the paper's stacked bars: everything that is
+        # not symbolic (levelization, numeric, factor download) counts as
+        # the numeric-side bar segment
+        rows.append(
+            Fig4Row(
+                abbr=spec.abbr,
+                density=spec.paper_density,
+                glu3_symbolic=gb.symbolic,
+                glu3_numeric=gb.total - gb.symbolic,
+                glu3_total=gb.total,
+                ooc_symbolic=ob.symbolic,
+                ooc_numeric=ob.total - ob.symbolic,
+                ooc_total=ob.total,
+            )
+        )
+    return Fig4Result(rows)

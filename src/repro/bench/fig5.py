@@ -1,0 +1,86 @@
+"""Figure 5: out-of-core vs unified-memory (with prefetching), end to end.
+
+Runs the 7 smallest-n Table 2 matrices — the ones whose symbolic
+intermediates fit (scaled) host memory but not device memory, the paper's
+§4.3 selection rule.  Paper result: the out-of-core implementation is
+1.06-2.22x faster, with unified memory most competitive on the densest
+matrices (WI, MI) and weakest on the sparsest (R15, OT2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..workloads import MatrixSpec, unified_memory_specs
+from .report import format_table
+from .runner import prepare, run_outofcore, run_unified
+
+
+@dataclass(frozen=True)
+class Fig5Row:
+    abbr: str
+    density: float
+    ooc_symbolic: float
+    ooc_numeric: float
+    ooc_total: float
+    um_symbolic: float
+    um_numeric: float
+    um_total: float
+
+    @property
+    def speedup(self) -> float:
+        """out-of-core speedup over the prefetch-enabled UM solver."""
+        return self.um_total / self.ooc_total
+
+
+@dataclass
+class Fig5Result:
+    rows: list[Fig5Row]
+
+    @property
+    def speedups(self) -> list[float]:
+        return [r.speedup for r in self.rows]
+
+    def speedup_range(self) -> tuple[float, float]:
+        s = self.speedups
+        return (min(s), max(s))
+
+    def __str__(self) -> str:
+        return format_table(
+            ["matrix", "nnz/n", "ooc sym", "ooc num", "um sym", "um num",
+             "ooc speedup"],
+            [
+                (r.abbr, r.density, r.ooc_symbolic, r.ooc_numeric,
+                 r.um_symbolic, r.um_numeric, r.speedup)
+                for r in self.rows
+            ],
+            title="Figure 5 — end-to-end times (simulated s): out-of-core "
+                  "vs unified memory (prefetch enabled)",
+        )
+
+
+def run_fig5(specs: tuple[MatrixSpec, ...] | None = None) -> Fig5Result:
+    """Regenerate Figure 5 (default: the paper's 7-matrix UM subset)."""
+    specs = specs or unified_memory_specs()
+    rows = []
+    for spec in specs:
+        art = prepare(spec)
+        assert spec.um_intermediates_fit_host(art.host), (
+            f"{spec.abbr}: UM subset member must fit host memory"
+        )
+        ooc = run_outofcore(art)
+        um = run_unified(art, prefetch=True)
+        ob, ub = ooc.breakdown(), um.breakdown()
+        rows.append(
+            Fig5Row(
+                abbr=spec.abbr,
+                density=spec.paper_density,
+                ooc_symbolic=ob.symbolic,
+                ooc_numeric=ob.total - ob.symbolic,
+                ooc_total=ob.total,
+                um_symbolic=ub.symbolic,
+                um_numeric=ub.total - ub.symbolic,
+                um_total=ub.total,
+            )
+        )
+    return Fig5Result(rows)

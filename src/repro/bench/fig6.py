@@ -1,0 +1,70 @@
+"""Figure 6: symbolic-phase times — out-of-core vs unified memory with and
+without prefetching.
+
+Paper result: without prefetching, unified memory is strictly worse; the gap
+widens for low-density matrices (R15, OT2) where there is little computation
+to amortize the page faults against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..workloads import MatrixSpec, unified_memory_specs
+from .report import format_table
+from .runner import prepare, run_symbolic_only
+
+
+@dataclass(frozen=True)
+class Fig6Row:
+    abbr: str
+    density: float
+    ooc: float       # out-of-core symbolic seconds
+    um_prefetch: float
+    um_no_prefetch: float
+
+    @property
+    def speedup_vs_prefetch(self) -> float:
+        return self.um_prefetch / self.ooc
+
+    @property
+    def speedup_vs_no_prefetch(self) -> float:
+        return self.um_no_prefetch / self.ooc
+
+
+@dataclass
+class Fig6Result:
+    rows: list[Fig6Row]
+
+    def __str__(self) -> str:
+        return format_table(
+            ["matrix", "nnz/n", "ooc", "um w/ p", "um w/o p",
+             "S vs w/p", "S vs w/o p"],
+            [
+                (r.abbr, r.density, r.ooc, r.um_prefetch, r.um_no_prefetch,
+                 r.speedup_vs_prefetch, r.speedup_vs_no_prefetch)
+                for r in self.rows
+            ],
+            title="Figure 6 — symbolic-phase times (simulated s)",
+        )
+
+
+def run_fig6(specs: tuple[MatrixSpec, ...] | None = None) -> Fig6Result:
+    """Regenerate Figure 6 (symbolic-only comparison, 3 implementations)."""
+    specs = specs or unified_memory_specs()
+    rows = []
+    for spec in specs:
+        art = prepare(spec)
+        ooc, _ = run_symbolic_only(art, mode="outofcore")
+        um_p, _ = run_symbolic_only(art, mode="unified", prefetch=True)
+        um_np, _ = run_symbolic_only(art, mode="unified", prefetch=False)
+        rows.append(
+            Fig6Row(
+                abbr=spec.abbr,
+                density=spec.paper_density,
+                ooc=ooc.sim_seconds,
+                um_prefetch=um_p.sim_seconds,
+                um_no_prefetch=um_np.sim_seconds,
+            )
+        )
+    return Fig6Result(rows)

@@ -1,0 +1,77 @@
+"""Figure 8: numeric factorization — sorted-CSC binary search vs dense format.
+
+On the Table 4 matrices (zero diagonals replaced with 1000, §4.4), compares
+the numeric-phase time of the dense-format kernel (capped at
+``M = L/(n x 4) < 160`` concurrent blocks, paying per-column dense
+scatter/gather traffic) against the paper's sorted-CSC binary-search kernel
+(full ``TB_max = 160`` blocks, paying log-factor probe steps).
+
+Paper result: the binary-search implementation is 2.88-3.33x faster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import EndToEndLU
+from ..workloads import MatrixSpec, TABLE4
+from .report import format_table
+from .runner import prepare
+
+
+@dataclass(frozen=True)
+class Fig8Row:
+    abbr: str
+    dense_seconds: float
+    csc_seconds: float
+    dense_max_blocks: int
+    csc_blocks: int
+
+    @property
+    def speedup(self) -> float:
+        return self.dense_seconds / self.csc_seconds
+
+
+@dataclass
+class Fig8Result:
+    rows: list[Fig8Row]
+
+    @property
+    def speedups(self) -> list[float]:
+        return [r.speedup for r in self.rows]
+
+    def speedup_range(self) -> tuple[float, float]:
+        s = self.speedups
+        return (min(s), max(s))
+
+    def __str__(self) -> str:
+        return format_table(
+            ["matrix", "dense (s)", "csc (s)", "M dense", "blocks csc",
+             "speedup"],
+            [
+                (r.abbr, r.dense_seconds, r.csc_seconds, r.dense_max_blocks,
+                 r.csc_blocks, r.speedup)
+                for r in self.rows
+            ],
+            title="Figure 8 — numeric factorization: binary-search CSC vs "
+                  "dense format",
+        )
+
+
+def run_fig8(specs: tuple[MatrixSpec, ...] = TABLE4) -> Fig8Result:
+    """Regenerate Figure 8 over the Table 4 matrices."""
+    rows = []
+    for spec in specs:
+        art = prepare(spec, for_numeric=True)
+        dense = EndToEndLU(art.config(numeric_format="dense")).factorize(art.a)
+        csc = EndToEndLU(art.config(numeric_format="csc")).factorize(art.a)
+        rows.append(
+            Fig8Row(
+                abbr=spec.abbr,
+                dense_seconds=dense.breakdown().numeric,
+                csc_seconds=csc.breakdown().numeric,
+                dense_max_blocks=dense.numeric.max_parallel_columns,
+                csc_blocks=csc.numeric.max_parallel_columns,
+            )
+        )
+    return Fig8Result(rows)

@@ -1,0 +1,103 @@
+"""ASCII renderings of the paper's figures.
+
+The paper's Figures 4-6 are normalized stacked bars (symbolic + numeric per
+implementation) and Figures 3/7/8 are series/bars.  These renderers turn
+the experiment result objects into terminal plots so EXPERIMENTS.md and
+interactive runs can *show* the shapes, not just tabulate them.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+FULL = "█"
+HALF = "▓"
+LIGHT = "░"
+
+
+def stacked_bar(
+    segments: Sequence[float], total_width: int, scale: float
+) -> str:
+    """One horizontal stacked bar; segment k uses the k-th fill char."""
+    fills = [FULL, LIGHT, HALF]
+    out = []
+    for k, seg in enumerate(segments):
+        w = int(round(seg * scale * total_width))
+        out.append(fills[k % len(fills)] * w)
+    return "".join(out)
+
+
+def render_grouped_bars(
+    labels: Sequence[str],
+    groups: Sequence[Sequence[Sequence[float]]],
+    group_names: Sequence[str],
+    *,
+    width: int = 50,
+    segment_names: Sequence[str] = ("symbolic", "numeric"),
+) -> str:
+    """Paper-style grouped stacked bars.
+
+    ``groups[g][i]`` is the segment list for group ``g`` (e.g. baseline /
+    ours) of matrix ``i``.  All bars share one scale: the longest bar fills
+    ``width`` characters.
+    """
+    longest = max(
+        sum(segs) for group in groups for segs in group
+    ) or 1.0
+    scale = 1.0 / longest
+    name_w = max(len(x) for x in (*labels, *group_names))
+    lines = [
+        "legend: " + ", ".join(
+            f"{(FULL, LIGHT, HALF)[k % 3]} {name}"
+            for k, name in enumerate(segment_names)
+        )
+    ]
+    for i, label in enumerate(labels):
+        lines.append(f"{label}")
+        for g, gname in enumerate(group_names):
+            bar = stacked_bar(groups[g][i], width, scale)
+            lines.append(f"  {gname.ljust(name_w)} |{bar}")
+    return "\n".join(lines)
+
+
+def render_fig4(result, *, width: int = 50, max_rows: int | None = None
+                ) -> str:
+    """Figure 4 as normalized stacked bars (glu3 bar == full width)."""
+    rows = result.rows[:max_rows] if max_rows else result.rows
+    labels = [f"{r.abbr} (nnz/n={r.density:.1f}, speedup {r.speedup:.2f}x)"
+              for r in rows]
+    groups = [[], []]
+    for r in rows:
+        gs, gn, os_, on = r.normalized()
+        groups[0].append([gs, gn])
+        groups[1].append([os_, on])
+    return render_grouped_bars(
+        labels, groups, ("modified GLU3.0", "out-of-core GPU"), width=width
+    )
+
+
+def render_fig5(result, *, width: int = 50) -> str:
+    """Figure 5 as normalized stacked bars (UM bar == full width)."""
+    labels = [f"{r.abbr} (speedup {r.speedup:.2f}x)" for r in result.rows]
+    groups = [[], []]
+    for r in result.rows:
+        t = r.um_total
+        groups[0].append([r.um_symbolic / t, r.um_numeric / t])
+        groups[1].append([r.ooc_symbolic / t, r.ooc_numeric / t])
+    return render_grouped_bars(
+        labels, groups, ("unified memory", "out-of-core"), width=width
+    )
+
+
+def render_speedup_bars(
+    labels: Sequence[str], speedups: Sequence[float], *, width: int = 40,
+    title: str = "",
+) -> str:
+    """Simple horizontal bars for per-matrix speedups (Fig. 8 style)."""
+    top = max(speedups) or 1.0
+    name_w = max(len(x) for x in labels)
+    lines = [title] if title else []
+    for label, s in zip(labels, speedups):
+        bar = FULL * int(round(s / top * width))
+        lines.append(f"{label.ljust(name_w)} |{bar} {s:.2f}x")
+    return "\n".join(lines)

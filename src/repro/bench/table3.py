@@ -1,0 +1,86 @@
+"""Table 3: page-fault groups and fault-service time percentages.
+
+For each UM-subset matrix, reports the number of GPU fault groups with and
+without prefetching, the percentage of (symbolic) time spent servicing the
+faults, and the out-of-core implementation's data-movement percentage.
+
+Paper shapes: prefetching cuts fault groups ~3-4x; fault-service share is
+33-86 % without prefetch, 19-65 % with; the out-of-core version spends
+well under 1 % moving data — and the shares shrink as density grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..workloads import MatrixSpec, unified_memory_specs
+from .report import format_table
+from .runner import prepare, run_symbolic_only
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    abbr: str
+    density: float
+    fault_groups_no_prefetch: int
+    fault_groups_prefetch: int
+    pct_fault_no_prefetch: float   # % of UM symbolic time servicing faults
+    pct_fault_prefetch: float
+    pct_transfer_ooc: float        # % of OOC symbolic time moving data
+
+    @property
+    def group_reduction(self) -> float:
+        if self.fault_groups_prefetch == 0:
+            return float("inf")
+        return self.fault_groups_no_prefetch / self.fault_groups_prefetch
+
+
+@dataclass
+class Table3Result:
+    rows: list[Table3Row]
+
+    def __str__(self) -> str:
+        return format_table(
+            ["matrix", "groups wo p", "groups w p", "pc. wo p(%)",
+             "pc. w p(%)", "pc. ooc(%)"],
+            [
+                (r.abbr, r.fault_groups_no_prefetch, r.fault_groups_prefetch,
+                 r.pct_fault_no_prefetch, r.pct_fault_prefetch,
+                 r.pct_transfer_ooc)
+                for r in self.rows
+            ],
+            title="Table 3 — GPU page-fault groups and service-time shares",
+        )
+
+
+def run_table3(specs: tuple[MatrixSpec, ...] | None = None) -> Table3Result:
+    """Regenerate Table 3 over the unified-memory subset."""
+    specs = specs or unified_memory_specs()
+    rows = []
+    for spec in specs:
+        art = prepare(spec)
+        _, gpu_np = run_symbolic_only(art, mode="unified", prefetch=False)
+        _, gpu_p = run_symbolic_only(art, mode="unified", prefetch=True)
+        _, gpu_ooc = run_symbolic_only(art, mode="outofcore")
+
+        def pct(gpu, bucket: str) -> float:
+            lg = gpu.ledger
+            sym = lg.seconds("symbolic")
+            return 100.0 * lg.seconds(bucket) / sym if sym > 0 else 0.0
+
+        rows.append(
+            Table3Row(
+                abbr=spec.abbr,
+                density=spec.paper_density,
+                fault_groups_no_prefetch=gpu_np.ledger.get_count(
+                    "um_fault_groups"
+                ),
+                fault_groups_prefetch=gpu_p.ledger.get_count(
+                    "um_fault_groups"
+                ),
+                pct_fault_no_prefetch=pct(gpu_np, "fault_service"),
+                pct_fault_prefetch=pct(gpu_p, "fault_service"),
+                pct_transfer_ooc=pct(gpu_ooc, "transfer"),
+            )
+        )
+    return Table3Result(rows)

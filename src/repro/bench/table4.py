@@ -1,0 +1,85 @@
+"""Table 4: very large matrices and the dense format's parallelism cap.
+
+For each Table 4 mesh matrix reports ``M = L / (n x sizeof(dtype))`` — the
+maximal number of parallel thread blocks the dense-format numeric kernel can
+sustain.  The registry scales each device so the quotient reproduces the
+paper's value exactly (124 / 119 / 109 / 102), all below ``TB_max = 160``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import SolverConfig, dense_format_max_blocks
+from ..gpusim import GPU
+from ..workloads import MatrixSpec, TABLE4
+from .report import format_table
+from .runner import prepare
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    name: str
+    abbr: str
+    paper_n: int
+    paper_nnz: int
+    scaled_n: int
+    scaled_nnz: int
+    max_blocks: int
+    paper_max_blocks: int
+    tb_max: int
+
+    @property
+    def under_occupied(self) -> bool:
+        """The §3.4 condition: dense format cannot fill the device."""
+        return self.max_blocks < self.tb_max
+
+
+@dataclass
+class Table4Result:
+    rows: list[Table4Row]
+
+    def __str__(self) -> str:
+        return format_table(
+            ["matrix", "paper n", "paper nnz", "scaled n", "max #blocks",
+             "paper max #blocks"],
+            [
+                (r.name, r.paper_n, r.paper_nnz, r.scaled_n, r.max_blocks,
+                 r.paper_max_blocks)
+                for r in self.rows
+            ],
+            title="Table 4 — large matrices and the dense-format "
+                  "parallel-block cap (TB_max = 160)",
+        )
+
+
+def run_table4(specs: tuple[MatrixSpec, ...] = TABLE4) -> Table4Result:
+    """Regenerate Table 4 (matrix specs + max parallel blocks)."""
+    rows = []
+    for spec in specs:
+        art = prepare(spec, for_numeric=True)
+        cfg = SolverConfig(device=art.device, host=art.host)
+        gpu = GPU(spec=art.device, host=art.host)
+        # the dense buffers compete with the resident graph + factorized
+        # matrix, exactly as in the numeric executor
+        idx, val = cfg.index_bytes, cfg.value_bytes
+        n = art.a.n_rows
+        gpu.malloc((n + 1) * idx + art.a.nnz * (idx + val), "graph")
+        gpu.malloc(
+            (n + 1) * idx + art.filled_nnz * (idx + val), "factorized matrix"
+        )
+        m = dense_format_max_blocks(gpu, n, cfg)
+        rows.append(
+            Table4Row(
+                name=spec.name,
+                abbr=spec.abbr,
+                paper_n=spec.paper_n,
+                paper_nnz=spec.paper_nnz,
+                scaled_n=n,
+                scaled_nnz=art.a.nnz,
+                max_blocks=m,
+                paper_max_blocks=spec.paper_max_blocks or 0,
+                tb_max=art.device.max_concurrent_blocks,
+            )
+        )
+    return Table4Result(rows)

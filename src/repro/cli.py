@@ -1,0 +1,226 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``solve``     factorize a Matrix Market file and solve against a RHS
+              (or all-ones), printing the residual and execution record.
+``analyze``   structural report: pattern statistics, fill-in, levels,
+              numeric-format decision — a Table 2-style row for any matrix.
+``generate``  write a synthetic workload matrix (circuit/fem/mesh) to .mtx.
+``bench``     run one paper experiment by name (fig3..fig8, table3, table4)
+              or ``all`` (EXPERIMENTS.md regeneration).
+``report``    structural report table for several .mtx files at once.
+``trace``     factorize a .mtx and write a Chrome trace of the simulated
+              device timeline (load in chrome://tracing or Perfetto).
+``export-suite``  write all scaled Table 2/4 instances + manifest to a dir.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from . import SolverConfig, factorize
+from .gpusim import scaled_device, scaled_host
+from .sparse import (
+    pattern_stats,
+    read_matrix_market,
+    residual_norm,
+    write_matrix_market,
+)
+
+
+def _load(path):
+    return read_matrix_market(path).to_csr()
+
+
+def _config(args) -> SolverConfig:
+    kw = {}
+    if args.device_mb is not None:
+        kw["device"] = scaled_device(int(args.device_mb * 2**20))
+        kw["host"] = scaled_host(int(8 * args.device_mb * 2**20))
+    if getattr(args, "symbolic", None):
+        kw["symbolic_mode"] = args.symbolic
+    if getattr(args, "format", None):
+        kw["numeric_format"] = args.format
+    return SolverConfig(**kw)
+
+
+def cmd_solve(args) -> int:
+    a = _load(args.matrix)
+    if args.rhs:
+        b = np.loadtxt(args.rhs, dtype=np.float64).reshape(-1)
+    else:
+        b = np.ones(a.n_rows)
+    res = factorize(a, _config(args))
+    x = res.solve(b)
+    bd = res.breakdown()
+    print(f"n={a.n_rows} nnz={a.nnz} fill-ins={res.fill_ins} "
+          f"levels={res.schedule.num_levels} "
+          f"format={res.numeric.data_format}")
+    print(f"simulated: total {bd.total*1e3:.3f} ms "
+          f"(symbolic {bd.symbolic*1e3:.3f}, levelize {bd.levelize*1e3:.3f}, "
+          f"numeric {bd.numeric*1e3:.3f})")
+    print(f"relative residual: {residual_norm(a, x, b):.3e}")
+    if args.out:
+        np.savetxt(args.out, x)
+        print(f"solution written to {args.out}")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    from .graph import build_dependency_graph, etree_height, kahn_levels
+    from .symbolic import symbolic_fill_reference
+
+    a = _load(args.matrix)
+    st = pattern_stats(a)
+    print(f"pattern: {st}")
+    filled = symbolic_fill_reference(a)
+    print(f"filled nnz: {filled.nnz} "
+          f"(+{filled.nnz - a.nnz} fill-ins, "
+          f"fill ratio {filled.nnz / max(a.nnz, 1):.2f}x)")
+    sched = kahn_levels(build_dependency_graph(filled))
+    widths = sched.columns_per_level()
+    print(f"levelization: {sched.num_levels} levels "
+          f"(max width {widths.max()}, mean {widths.mean():.1f})")
+    print(f"etree height: {etree_height(filled)}")
+    cfg = _config(args)
+    n = a.n_rows
+    scratch = cfg.scratch_bytes_per_row(n) * n
+    print(f"all-rows symbolic scratch: {scratch / 2**20:.1f} MiB "
+          f"(device {cfg.device.memory_bytes / 2**20:.1f} MiB -> "
+          f"{'OUT-OF-CORE REQUIRED' if scratch > cfg.device.memory_bytes else 'fits'})")
+    return 0
+
+
+def cmd_generate(args) -> int:
+    from .workloads import circuit_like, fem_like, mesh_like
+
+    if args.kind == "circuit":
+        a = circuit_like(args.n, args.density, seed=args.seed)
+    elif args.kind == "fem":
+        a = fem_like(args.n, args.density, seed=args.seed)
+    else:
+        a = mesh_like(args.n, seed=args.seed)
+    write_matrix_market(args.out, a,
+                        comment=f"repro synthetic {args.kind} matrix")
+    print(f"wrote {a.n_rows}x{a.n_cols}, nnz={a.nnz} to {args.out}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .bench.matrix_report import matrix_report
+
+    mats = {p.rsplit("/", 1)[-1]: _load(p) for p in args.matrices}
+    print(matrix_report(mats, _config(args)))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from .core import EndToEndLU
+    from .gpusim import TracingGPU
+
+    a = _load(args.matrix)
+    cfg = _config(args)
+    gpu = TracingGPU(spec=cfg.device, host=cfg.host, cost=cfg.cost_model)
+    res = EndToEndLU(cfg).factorize(a, gpu=gpu)
+    gpu.write_chrome_trace(args.out)
+    counts = gpu.event_counts()
+    print(f"simulated {res.sim_seconds * 1e3:.3f} ms; "
+          f"{sum(counts.values())} events "
+          f"({counts.get('kernel', 0)} kernels, "
+          f"{counts.get('transfer', 0)} transfers) -> {args.out}")
+    return 0
+
+
+def cmd_export_suite(args) -> int:
+    from .workloads import export_suite
+
+    manifest = export_suite(args.directory)
+    print(f"suite written; manifest at {manifest}")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    if args.experiment == "all":
+        from .bench.experiments import main as exp_main
+
+        return exp_main(["--fast"] if args.fast else [])
+    import importlib
+
+    mod = importlib.import_module(f"repro.bench.{args.experiment}")
+    runner = getattr(mod, f"run_{args.experiment}")
+    print(runner())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="End-to-end sparse LU factorization on a simulated GPU "
+                    "(PPoPP'23 reproduction)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def add_device(sp):
+        sp.add_argument("--device-mb", type=float, default=None,
+                        help="simulated device memory in MiB "
+                             "(default: full 16 GiB V100)")
+
+    sp = sub.add_parser("solve", help="factorize a .mtx file and solve")
+    sp.add_argument("matrix")
+    sp.add_argument("--rhs", help="text file with the right-hand side")
+    sp.add_argument("--out", help="write the solution vector here")
+    sp.add_argument("--symbolic",
+                    choices=["outofcore", "unified", "incore"])
+    sp.add_argument("--format", choices=["auto", "dense", "csc"])
+    add_device(sp)
+    sp.set_defaults(fn=cmd_solve)
+
+    sp = sub.add_parser("analyze", help="structural report for a .mtx file")
+    sp.add_argument("matrix")
+    add_device(sp)
+    sp.set_defaults(fn=cmd_analyze)
+
+    sp = sub.add_parser("generate", help="write a synthetic matrix")
+    sp.add_argument("kind", choices=["circuit", "fem", "mesh"])
+    sp.add_argument("out")
+    sp.add_argument("--n", type=int, default=1000)
+    sp.add_argument("--density", type=float, default=8.0)
+    sp.add_argument("--seed", type=int, default=0)
+    sp.set_defaults(fn=cmd_generate)
+
+    sp = sub.add_parser("report", help="structural report for .mtx files")
+    sp.add_argument("matrices", nargs="+")
+    add_device(sp)
+    sp.set_defaults(fn=cmd_report)
+
+    sp = sub.add_parser("trace", help="write a Chrome trace of a solve")
+    sp.add_argument("matrix")
+    sp.add_argument("out")
+    add_device(sp)
+    sp.set_defaults(fn=cmd_trace)
+
+    sp = sub.add_parser("export-suite",
+                        help="write the scaled Table 2/4 suite to a dir")
+    sp.add_argument("directory")
+    sp.set_defaults(fn=cmd_export_suite)
+
+    sp = sub.add_parser("bench", help="run a paper experiment")
+    sp.add_argument("experiment",
+                    choices=["fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+                             "table3", "table4", "all"])
+    sp.add_argument("--fast", action="store_true")
+    sp.set_defaults(fn=cmd_bench)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,225 @@
+"""GPU numeric factorization with memory-limit-free parallelism (§3.4).
+
+Wraps the level-scheduled hybrid right-looking kernel with the paper's
+working-format decision:
+
+* **dense format** (GLU/GLU 3.0 heritage): each in-flight column occupies an
+  ``n``-element dense buffer, so at most ``M = L / (n x sizeof(dtype))``
+  columns can be resident — when ``M < TB_max`` the device runs
+  under-occupied (Table 4's ``max #blocks`` column).  Dense columns are
+  scattered from / gathered back to the sparse store, charged as HBM
+  traffic.
+* **sorted-CSC format** (the paper's contribution, Algorithm 6): columns
+  stay sparse, every access binary-searches the sorted row ids (probe steps
+  are charged per the cost model), and the concurrency cap returns to
+  ``TB_max`` — the Fig. 8 mechanism.
+
+``numeric_format="auto"`` applies the §3.4 switch rule
+``n > L / (TB_max x sizeof(dtype))``.
+
+Kernel-launch structure follows GLU 3.0's level taxonomy (§2.2):
+
+* **type A** (many columns, few sub-columns): one kernel per level, one
+  thread block per column — column count carries the parallelism;
+* **type B** (transitional): one kernel per level, a block per column with
+  up to ``WARP_TEAMS_PER_BLOCK`` warp teams over its sub-columns — more
+  concurrency than A, but capped by the block's thread budget;
+* **type C** (few columns, many sub-columns): one kernel call *per column*
+  with a block per sub-column — maximal sub-column concurrency at the
+  price of per-column launch overhead.
+
+The ablation (`run_kernel_mode_ablation`) verifies the adaptive choice is
+never worse than forcing any single mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gpusim import GPU
+from ..graph import LevelSchedule, sub_column_counts
+from ..numeric import NumericStats, extract_lu, factorize_in_place
+from ..sparse import CSCMatrix, CSRMatrix
+from .config import SolverConfig
+
+#: warp teams a type-B block spreads over its column's sub-columns (block
+#: thread budget / warp size / lanes per team).
+WARP_TEAMS_PER_BLOCK = 8
+
+
+@dataclass
+class NumericResult:
+    """Factorized matrix + execution record of the numeric phase."""
+
+    As: CSCMatrix  # in-place factorized: L below diagonal (unit), U above
+    stats: NumericStats
+    data_format: str  # "dense" or "csc"
+    max_parallel_columns: int  # M for dense, TB_max for csc
+    sim_seconds: float
+
+    def factors(self) -> tuple[CSCMatrix, CSCMatrix]:
+        return extract_lu(self.As)
+
+
+def choose_format(
+    gpu: GPU, n: int, config: SolverConfig
+) -> tuple[str, int]:
+    """Apply the §3.4 rule; returns (format, concurrency cap).
+
+    The dense cap ``M`` is computed from the *currently free* device memory
+    (what remains after the factorized matrix and graph are resident) —
+    those are the bytes dense column buffers could actually claim.
+    """
+    tb_max = gpu.spec.max_concurrent_blocks
+    m_dense = config.dense_parallel_columns(n, gpu.free_bytes)
+    if config.numeric_format == "dense":
+        return "dense", min(m_dense, tb_max)
+    if config.numeric_format == "csc":
+        return "csc", tb_max
+    # auto: switch to CSC when dense cannot reach full occupancy
+    if m_dense < tb_max:
+        return "csc", tb_max
+    return "dense", tb_max
+
+
+def numeric_factorize_gpu(
+    gpu: GPU,
+    filled: CSRMatrix,
+    schedule: LevelSchedule,
+    config: SolverConfig,
+    *,
+    as_resident: bool = False,
+    kernel_mode_override: str | None = None,
+) -> NumericResult:
+    """Factorize the filled matrix on the simulated GPU.
+
+    Parameters
+    ----------
+    filled:
+        Symbolic result (CSR) — original values with explicit zeros at fill
+        positions.
+    schedule:
+        Level schedule (columns per level) from the levelization phase.
+    as_resident:
+        True when the factorized-matrix device allocation from the symbolic
+        phase is still live (the end-to-end pipeline), so no new allocation
+        or transfer is needed.
+    kernel_mode_override:
+        Force every level to one GLU 3.0 kernel mode ("A", "B" or "C")
+        instead of the adaptive classification — the ablation lever for
+        §2.2's claim that adapting the mode to the level shape matters.
+    """
+    n = filled.n_rows
+    idx, val = config.index_bytes, config.value_bytes
+    ledger = gpu.ledger
+    t0 = ledger.total_seconds
+
+    with ledger.phase("numeric"):
+        As = filled.to_csc()
+        if As.data.dtype != config.compute_dtype:
+            As = As.astype(config.compute_dtype)
+        as_bytes = (n + 1) * idx + As.nnz * (idx + val)
+        own_buffer = None
+        if not as_resident:
+            own_buffer = gpu.malloc(as_bytes, "As (numeric)")
+            gpu.h2d(as_bytes)
+
+        fmt, cap = choose_format(gpu, n, config)
+        dense_buffer = None
+        if fmt == "dense":
+            dense_buffer = gpu.malloc(
+                max(1, cap) * n * val, "dense column buffers"
+            )
+
+        stats = factorize_in_place(
+            As,
+            filled,
+            schedule,
+            pivot_tolerance=config.pivot_tolerance,
+            count_search_steps=(fmt == "csc"),
+        )
+
+        sub_cols = sub_column_counts(filled)
+        if kernel_mode_override is not None:
+            if kernel_mode_override not in ("A", "B", "C"):
+                raise ValueError("kernel_mode_override must be A, B or C")
+            tags = [kernel_mode_override] * schedule.num_levels
+        else:
+            tags = schedule.classify_levels(sub_cols)
+        for (flops, cols, updates, search), tag, level in zip(
+            stats.per_level, tags, schedule.levels
+        ):
+            if cols == 0:
+                continue
+            if tag == "C":
+                # one kernel per column, blocks = that column's sub-columns;
+                # flops apportioned by each column's share of the level's
+                # sub-column updates (uniform splitting would charge light
+                # columns heavy work at tiny occupancy)
+                weights = sub_cols[level].astype(float) + 1.0
+                weights /= weights.sum()
+                for j, w in zip(level, weights):
+                    blocks = max(1, int(sub_cols[int(j)]))
+                    gpu.launch_numeric(
+                        max(1, int(flops * w)),
+                        blocks,
+                        concurrency_cap=cap,
+                        search_steps=int(search * w),
+                    )
+            elif tag == "A":
+                # type A: one kernel per level, one block per column (no
+                # sub-column teams — ample column parallelism assumed)
+                gpu.launch_numeric(
+                    max(1, flops),
+                    cols,
+                    concurrency_cap=cap,
+                    search_steps=search,
+                )
+            else:
+                # type B: one kernel per level; a block per column, with
+                # warp teams over sub-columns — concurrency counts
+                # sub-column work groups but is capped by the block's
+                # thread budget
+                blocks = max(
+                    cols, min(updates, cols * WARP_TEAMS_PER_BLOCK)
+                )
+                gpu.launch_numeric(
+                    max(1, flops),
+                    blocks,
+                    concurrency_cap=cap,
+                    search_steps=search,
+                )
+            if fmt == "dense":
+                # scatter each column into its dense buffer and gather the
+                # results back: 2 x n x sizeof(dtype) HBM traffic per column
+                gpu.hbm_traffic(2 * cols * n * val)
+
+        if dense_buffer is not None:
+            gpu.free(dense_buffer)
+        if own_buffer is not None:
+            gpu.free(own_buffer)
+
+    # factors stream back to the host once factorization is done; this is
+    # pipeline epilogue, not numeric-kernel time (Fig. 8 compares kernels)
+    with ledger.phase("download"):
+        gpu.d2h(as_bytes)
+
+    m_report = (
+        cap if fmt == "dense" else gpu.spec.max_concurrent_blocks
+    )
+    return NumericResult(
+        As=As,
+        stats=stats,
+        data_format=fmt,
+        max_parallel_columns=m_report,
+        sim_seconds=ledger.total_seconds - t0,
+    )
+
+
+def dense_format_max_blocks(gpu: GPU, n: int, config: SolverConfig) -> int:
+    """Table 4's ``max #blocks`` column: ``M = L / (n x sizeof(dtype))``
+    computed against currently-free device memory, capped by nothing —
+    the paper reports the raw quotient."""
+    return config.dense_parallel_columns(n, gpu.free_bytes)

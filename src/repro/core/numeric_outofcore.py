@@ -1,0 +1,170 @@
+"""Out-of-core numeric factorization: when even the *filled* matrix
+exceeds device memory.
+
+The paper removes the symbolic phase's memory limit and assumes the sparse
+factorized matrix fits on the device for the numeric phase (Algorithm 3
+line 8 allocates it there).  For truly extreme fill that assumption breaks
+too; this module completes the story with a streamed numeric executor:
+
+* the filled matrix lives on the host in CSC column *segments*;
+* the device holds an LRU-managed window of segments;
+* each level faults in the segments containing its columns and their
+  sub-columns (the real access set, derived from the pattern), evicting
+  least-recently-used segments — dirty ones are written back, since the
+  right-looking kernel mutates its sub-columns.
+
+Numerics are identical to the in-core executor (tests assert it); only the
+simulated transfer traffic differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gpusim import GPU
+from ..graph import LevelSchedule, sub_column_counts
+from ..numeric import NumericStats, extract_lu, factorize_in_place
+from ..sparse import CSCMatrix, CSRMatrix
+from ..sparse.types import INDEX_DTYPE
+from .config import SolverConfig
+from .numeric_gpu import NumericResult
+
+
+@dataclass
+class StreamingStats:
+    """Transfer observables of one out-of-core numeric run."""
+
+    segments: int
+    segment_bytes: int
+    loads: int
+    writebacks: int
+
+    @property
+    def bytes_streamed(self) -> int:
+        return (self.loads + self.writebacks) * self.segment_bytes
+
+
+class _SegmentWindow:
+    """LRU residency of column segments inside a device-byte budget."""
+
+    def __init__(self, gpu: GPU, num_segments: int, segment_bytes: int,
+                 budget_bytes: int) -> None:
+        self.gpu = gpu
+        self.segment_bytes = segment_bytes
+        self.capacity = max(1, budget_bytes // max(segment_bytes, 1))
+        self.resident: dict[int, int] = {}  # segment -> last-use tick
+        self.dirty: set[int] = set()
+        self.tick = 0
+        self.loads = 0
+        self.writebacks = 0
+
+    def touch(self, segments: set[int], *, write: bool) -> None:
+        self.tick += 1
+        missing = [s for s in segments if s not in self.resident]
+        # evict LRU beyond capacity
+        overflow = len(self.resident) + len(missing) - self.capacity
+        if overflow > 0:
+            victims = sorted(self.resident, key=self.resident.get)[:overflow]
+            for v in victims:
+                del self.resident[v]
+                if v in self.dirty:
+                    self.gpu.d2h(self.segment_bytes)
+                    self.dirty.discard(v)
+                    self.writebacks += 1
+        for s in missing:
+            self.gpu.h2d(self.segment_bytes)
+            self.loads += 1
+        for s in segments:
+            self.resident[s] = self.tick
+            if write:
+                self.dirty.add(s)
+
+    def flush(self) -> None:
+        for s in list(self.dirty):
+            self.gpu.d2h(self.segment_bytes)
+            self.writebacks += 1
+        self.dirty.clear()
+
+
+def numeric_factorize_outofcore(
+    gpu: GPU,
+    filled: CSRMatrix,
+    schedule: LevelSchedule,
+    config: SolverConfig,
+    *,
+    segment_columns: int = 64,
+) -> tuple[NumericResult, StreamingStats]:
+    """Streamed numeric factorization for filled matrices beyond device
+    memory.
+
+    Columns are grouped into ``segment_columns``-wide segments; the device
+    window is sized from the free device memory after the graph metadata.
+    Always uses the sorted-CSC kernel (the dense format is hopeless in this
+    regime — its per-column O(n) buffers are the §3.4 problem squared).
+    """
+    n = filled.n_rows
+    idx, val = config.index_bytes, config.value_bytes
+    ledger = gpu.ledger
+    t0 = ledger.total_seconds
+
+    with ledger.phase("numeric"):
+        As = filled.to_csc()
+        if As.data.dtype != config.compute_dtype:
+            As = As.astype(config.compute_dtype)
+
+        num_segments = max(1, -(-n // segment_columns))
+        seg_bytes = max(
+            1, ((n + 1) * idx + As.nnz * (idx + val)) // num_segments
+        )
+        window = _SegmentWindow(
+            gpu, num_segments, seg_bytes,
+            budget_bytes=int(0.8 * gpu.free_bytes),
+        )
+
+        # real numerics once, with per-level stats for charging
+        stats = factorize_in_place(
+            As, filled, schedule,
+            pivot_tolerance=config.pivot_tolerance,
+            count_search_steps=True,
+        )
+
+        sub_cols = sub_column_counts(filled)
+        tags = schedule.classify_levels(sub_cols)
+        seg_of = np.arange(n, dtype=INDEX_DTYPE) // segment_columns
+
+        for (flops, cols, updates, search), tag, level in zip(
+            stats.per_level, tags, schedule.levels
+        ):
+            if cols == 0:
+                continue
+            # the level's access set: its own columns + their sub-columns
+            touched = set(seg_of[level].tolist())
+            for j in level:
+                rj, _ = filled.row(int(j))
+                subs = rj[rj > int(j)]
+                touched.update(seg_of[subs].tolist())
+            window.touch(touched, write=True)
+            gpu.launch_numeric(
+                max(1, flops),
+                max(cols, updates),
+                concurrency_cap=gpu.spec.max_concurrent_blocks,
+                search_steps=search,
+            )
+        window.flush()
+
+    streaming = StreamingStats(
+        segments=num_segments,
+        segment_bytes=seg_bytes,
+        loads=window.loads,
+        writebacks=window.writebacks,
+    )
+    result = NumericResult(
+        As=As,
+        stats=stats,
+        data_format="csc-streamed",
+        max_parallel_columns=gpu.spec.max_concurrent_blocks,
+        sim_seconds=ledger.total_seconds - t0,
+    )
+    return result, streaming

@@ -1,0 +1,334 @@
+"""Out-of-core GPU symbolic factorization (Algorithms 3 and 4).
+
+The symbolic phase needs ``c x n`` scratch per in-flight source row (§3.2),
+so processing all rows at once needs O(n^2) device memory — impossible for
+every Table 2 matrix.  The out-of-core scheme processes ``chunk_size`` rows
+per kernel launch with explicitly managed transfers, in two stages:
+
+* **stage 1** (``symbolic_1``): count the filled nonzeros of each row;
+* a device prefix-sum sizes the CSR output and the factorized matrix is
+  allocated (Algorithm 3 lines 6-8);
+* **stage 2** (``symbolic_2``): re-traverse, now writing fill positions.
+
+Algorithm 4 ("dynamic parallelism assignment") splits the rows at the first
+source row whose frontier population reaches ``split_fraction`` of the
+maximum: the low-frontier prefix needs far less scratch per row, so it gets
+a larger ``chunk_size`` (more thread blocks in flight, fewer launches).
+
+The fill structure itself is computed by the bitset engine
+(:func:`repro.symbolic.symbolic_fill_reference` — same fixpoint as the
+fill2 kernel, validated in tests); this module contributes the *memory
+management and scheduling* behaviour and charges the simulated time from
+the real per-row traversal workloads.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import DeviceMemoryError
+from ..gpusim import GPU, Buffer
+from ..sparse import CSRMatrix
+from ..symbolic import (
+    chunk_blocks,
+    frontier_counts,
+    split_point_by_frontier,
+    symbolic_fill_reference,
+    traversal_edges_per_row,
+)
+from .config import SolverConfig
+
+
+@dataclass(frozen=True)
+class ChunkPlan:
+    """One homogeneous region of the out-of-core iteration space."""
+
+    row_start: int
+    row_end: int
+    chunk_size: int
+    scratch_bytes_per_row: int
+
+    @property
+    def num_rows(self) -> int:
+        return self.row_end - self.row_start
+
+    @property
+    def num_iterations(self) -> int:
+        return math.ceil(self.num_rows / self.chunk_size)
+
+
+@dataclass
+class SymbolicResult:
+    """Output of the symbolic phase: structure plus execution record."""
+
+    filled: CSRMatrix
+    fill_count: np.ndarray
+    plans: list[ChunkPlan]
+    split_point: int | None
+    iterations: int
+    sim_seconds: float
+    device_filled: Buffer | None = None
+    device_graph: list[Buffer] = field(default_factory=list)
+
+    @property
+    def new_fill_ins(self) -> int:
+        return int(self.filled.nnz)  # total nonzeros of L+U (counts incl. A)
+
+
+def plan_chunks(
+    gpu: GPU,
+    a: CSRMatrix,
+    config: SolverConfig,
+    *,
+    dynamic: bool,
+    frontier: np.ndarray | None = None,
+    free_bytes: int | None = None,
+) -> tuple[list[ChunkPlan], int | None]:
+    """Compute the chunking schedule for the out-of-core loops.
+
+    Naive mode (Algorithm 3): one plan covering all rows with the
+    conservative ``c x n`` scratch per row.  Dynamic mode (Algorithm 4): two
+    plans split at the frontier knee; the first part's scratch per row is
+    sized from its *actual* maximum frontier, allowing a larger chunk.
+    """
+    n = a.n_rows
+    free = gpu.free_bytes if free_bytes is None else int(free_bytes)
+    conservative = config.scratch_bytes_per_row(n)
+
+    def chunk_for(per_row: int) -> int:
+        if per_row <= 0:
+            per_row = config.index_bytes
+        c = free // per_row
+        if c <= 0:
+            raise DeviceMemoryError(per_row, free, "symbolic per-row scratch")
+        return min(c, n)
+
+    if not dynamic:
+        return [ChunkPlan(0, n, chunk_for(conservative), conservative)], None
+
+    if frontier is None:
+        raise ValueError("dynamic chunk planning needs frontier counts")
+    fmax = int(frontier.max(initial=0))
+    cutoff = config.split_fraction * fmax
+    hits = np.flatnonzero(frontier >= cutoff) if fmax else np.empty(0, int)
+    n1 = int(hits[0]) if len(hits) else n
+    if n1 <= 0 or n1 >= n:
+        # no useful split: fall back to the single conservative plan
+        return [ChunkPlan(0, n, chunk_for(conservative), conservative)], None
+
+    idx = config.index_bytes
+    # part 1: stamp array + output staging (2n) + double-buffered frontier
+    # queues sized by the part's real maximum frontier
+    maxf1 = int(frontier[:n1].max(initial=1))
+    per_row_1 = min(conservative, (2 * n + 4 * max(1, maxf1)) * idx)
+    plans = [
+        ChunkPlan(0, n1, chunk_for(per_row_1), per_row_1),
+        ChunkPlan(n1, n, chunk_for(conservative), conservative),
+    ]
+    return plans, n1
+
+
+def plan_chunks_multipart(
+    gpu: GPU,
+    a: CSRMatrix,
+    config: SolverConfig,
+    frontier: np.ndarray,
+    *,
+    num_parts: int,
+    free_bytes: int | None = None,
+) -> list[ChunkPlan]:
+    """Generalized Algorithm 4 with more than two parts.
+
+    The paper notes (§3.2) that "using more than 2 phases can be explored,
+    but it will also imply more kernel launches".  Part boundaries are
+    placed at geometrically-halved frontier thresholds
+    (``fmax * split_fraction^(k-1-i)``), so part 0 covers the cheapest rows
+    with the largest chunks while the last part keeps the conservative
+    ``c x n`` sizing.  ``num_parts=1`` degenerates to Algorithm 3 and
+    ``num_parts=2`` to the paper's Algorithm 4 boundaries.
+    """
+    if num_parts < 1:
+        raise ValueError("num_parts must be >= 1")
+    n = a.n_rows
+    free = gpu.free_bytes if free_bytes is None else int(free_bytes)
+    conservative = config.scratch_bytes_per_row(n)
+    idx = config.index_bytes
+
+    def chunk_for(per_row: int) -> int:
+        c = free // max(per_row, 1)
+        if c <= 0:
+            raise DeviceMemoryError(per_row, free, "symbolic per-row scratch")
+        return min(c, n)
+
+    fmax = int(frontier.max(initial=0))
+    if num_parts == 1 or fmax == 0:
+        return [ChunkPlan(0, n, chunk_for(conservative), conservative)]
+
+    thresholds = [
+        fmax * config.split_fraction ** (num_parts - 1 - i)
+        for i in range(num_parts - 1)
+    ]
+    boundaries = [0]
+    for t in thresholds:
+        hits = np.flatnonzero(frontier >= t)
+        b = int(hits[0]) if len(hits) else n
+        boundaries.append(max(b, boundaries[-1]))
+    boundaries.append(n)
+
+    plans: list[ChunkPlan] = []
+    for start, end in zip(boundaries, boundaries[1:]):
+        if start >= end:
+            continue
+        if end == n:
+            per_row = conservative
+        else:
+            maxf = int(frontier[start:end].max(initial=1))
+            per_row = min(conservative, (2 * n + 4 * max(1, maxf)) * idx)
+        plans.append(ChunkPlan(start, end, chunk_for(per_row), per_row))
+    return plans
+
+
+def outofcore_symbolic(
+    gpu: GPU,
+    a: CSRMatrix,
+    config: SolverConfig,
+    *,
+    dynamic: bool | None = None,
+    num_parts: int | None = None,
+    keep_on_device: bool = True,
+) -> SymbolicResult:
+    """Run the two-stage out-of-core symbolic factorization on ``gpu``.
+
+    Returns the filled pattern (with the original values scattered in and
+    zeros at fill positions) and the execution record.  When
+    ``keep_on_device`` the factorized-matrix allocation (Algorithm 3 line 8)
+    stays live for the numeric phase; the caller owns freeing it.
+    """
+    if dynamic is None:
+        dynamic = config.dynamic_assignment
+    n = a.n_rows
+    idx = config.index_bytes
+    val = config.value_bytes
+    ledger = gpu.ledger
+    t0 = ledger.total_seconds
+
+    with ledger.phase("symbolic"):
+        # -- ground-truth structure (device kernels compute exactly this) --
+        filled = symbolic_fill_reference(a)
+        edges_per_row = traversal_edges_per_row(a, filled)
+        frontier = frontier_counts(filled)
+        avg_degree = a.nnz / max(n, 1)
+
+        # -- persistent device residents: the input graph in CSR ----------
+        graph_bufs = [
+            gpu.malloc((n + 1) * idx, "A.indptr"),
+            gpu.malloc(a.nnz * idx, "A.indices"),
+            gpu.malloc(a.nnz * val, "A.values"),
+            gpu.malloc(n * idx, "fill_count"),
+        ]
+        gpu.h2d((n + 1) * idx + a.nnz * (idx + val))
+
+        # Plan against the memory that will remain once the factorized
+        # matrix (allocated between the stages, line 8) is resident, so the
+        # same chunk plan is valid for both stages.  When even the sparse
+        # factorized matrix cannot fit alongside one row of scratch, switch
+        # to streaming mode: stage-2 chunks ship their output straight to
+        # the host and the numeric phase uses the out-of-core executor.
+        filled_bytes = (n + 1) * idx + filled.nnz * (idx + val)
+        streaming_output = (
+            filled_bytes > gpu.free_bytes - config.scratch_bytes_per_row(n)
+        )
+        plan_reserve = 0 if streaming_output else filled_bytes
+        if num_parts is not None and num_parts != 2:
+            plans = plan_chunks_multipart(
+                gpu, a, config, frontier,
+                num_parts=num_parts,
+                free_bytes=gpu.free_bytes - plan_reserve,
+            )
+            split_point = plans[1].row_start if len(plans) > 1 else None
+        else:
+            plans, split_point = plan_chunks(
+                gpu,
+                a,
+                config,
+                dynamic=dynamic,
+                frontier=frontier,
+                free_bytes=gpu.free_bytes - plan_reserve,
+            )
+
+        fill_count = filled.row_nnz().astype(np.int64)
+        iterations = 0
+
+        # -- stage 1: count nonzeros per row (kernel symbolic_1) -----------
+        for plan in plans:
+            for start in range(plan.row_start, plan.row_end, plan.chunk_size):
+                end = min(start + plan.chunk_size, plan.row_end)
+                rows = end - start
+                scratch = gpu.malloc(
+                    rows * plan.scratch_bytes_per_row, "symbolic scratch"
+                )
+                blocks = chunk_blocks(frontier[start:end])
+                gpu.launch_traversal(
+                    edges=int(edges_per_row[start:end].sum()),
+                    avg_degree=avg_degree,
+                    blocks=blocks,
+                )
+                gpu.free(scratch)
+                iterations += 1
+
+        # -- prefix sum on fill_count (line 7) ------------------------------
+        gpu.launch_utility(n)
+        gpu.d2h(8)  # total nnz back to host for the allocation decision
+
+        # -- allocate the factorized matrix (line 8) unless streaming ------
+        device_filled = (
+            None if streaming_output
+            else gpu.malloc(filled_bytes, "factorized matrix")
+        )
+
+        # -- stage 2: write fill positions (kernel symbolic_2) --------------
+        for plan in plans:
+            for start in range(plan.row_start, plan.row_end, plan.chunk_size):
+                end = min(start + plan.chunk_size, plan.row_end)
+                rows = end - start
+                scratch = gpu.malloc(
+                    rows * plan.scratch_bytes_per_row, "symbolic scratch"
+                )
+                blocks = chunk_blocks(frontier[start:end])
+                # traversal again, plus one write per produced nonzero
+                gpu.launch_traversal(
+                    edges=int(
+                        edges_per_row[start:end].sum()
+                        + fill_count[start:end].sum()
+                    ),
+                    avg_degree=avg_degree,
+                    blocks=blocks,
+                )
+                if streaming_output:
+                    gpu.d2h(
+                        int(fill_count[start:end].sum()) * (idx + val)
+                    )
+                gpu.free(scratch)
+                iterations += 1
+
+        if not keep_on_device and device_filled is not None:
+            gpu.d2h(filled_bytes)
+            gpu.free(device_filled)
+            device_filled = None
+            for buf in graph_bufs:
+                gpu.free(buf)
+            graph_bufs = []
+
+    return SymbolicResult(
+        filled=filled,
+        fill_count=fill_count,
+        plans=plans,
+        split_point=split_point,
+        iterations=iterations,
+        sim_seconds=ledger.total_seconds - t0,
+        device_filled=device_filled,
+        device_graph=graph_bufs,
+    )

@@ -1,0 +1,183 @@
+"""Numeric-only re-factorization on a reused symbolic analysis.
+
+The paper's motivating workload — circuit simulation (§1) — factorizes the
+*same pattern* thousands of times with changing values (Newton iterations,
+time steps).  The expensive phases (symbolic factorization, levelization)
+depend only on the pattern, so a production flow runs them once and then
+re-runs only numeric factorization per step.
+
+:class:`ReusableAnalysis` packages the pattern-dependent state (filled
+pattern, dependency graph, level schedule, value scatter map) and
+:meth:`ReusableAnalysis.refactorize` executes a numeric-only pipeline pass
+for new values, returning a solvable result that shares the analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SparseFormatError
+from ..gpusim import GPU
+from ..graph import DependencyGraph, LevelSchedule, build_dependency_graph
+from ..numeric import lu_solve_permuted
+from ..preprocess import PreprocessResult, preprocess
+from ..sparse import CSCMatrix, CSRMatrix
+from ..sparse.types import INDEX_DTYPE
+from .config import SolverConfig
+from .levelize_gpu import levelize_gpu_dynamic
+from .numeric_gpu import NumericResult, numeric_factorize_gpu
+from .outofcore import outofcore_symbolic
+
+
+@dataclass
+class RefactorizeResult:
+    """Factors from one numeric-only pass (shares its analysis)."""
+
+    L: CSCMatrix
+    U: CSCMatrix
+    numeric: NumericResult
+    analysis: "ReusableAnalysis"
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        pre = self.analysis.pre
+        return lu_solve_permuted(
+            self.L, self.U, b,
+            row_perm=pre.row_perm, col_perm=pre.col_perm,
+            row_scale=pre.row_scale, col_scale=pre.col_scale,
+        )
+
+    @property
+    def sim_seconds(self) -> float:
+        return self.numeric.sim_seconds
+
+
+class ReusableAnalysis:
+    """Pattern-dependent analysis of a matrix, reusable across value sets.
+
+    Build once with :func:`analyze`; call :meth:`refactorize` with matrices
+    sharing the *exact original pattern* (same ``indptr``/``indices``).
+    """
+
+    def __init__(
+        self,
+        gpu: GPU,
+        config: SolverConfig,
+        pre: PreprocessResult,
+        filled: CSRMatrix,
+        graph: DependencyGraph,
+        schedule: LevelSchedule,
+        analysis_seconds: float,
+    ) -> None:
+        self.gpu = gpu
+        self.config = config
+        self.pre = pre
+        self.filled = filled
+        self.graph = graph
+        self.schedule = schedule
+        self.analysis_seconds = analysis_seconds
+        self._pattern_indptr = pre.matrix.indptr.copy()
+        self._pattern_indices = pre.matrix.indices.copy()
+        # scatter map: position of every original entry inside the filled
+        # pattern (fill positions stay zero until overwritten by updates)
+        self._scatter = self._build_scatter_map()
+
+    def _build_scatter_map(self) -> np.ndarray:
+        src = self.pre.matrix
+        dst = self.filled
+        out = np.empty(src.nnz, dtype=INDEX_DTYPE)
+        for i in range(src.n_rows):
+            s_cols, _ = src.row(i)
+            d_start = int(dst.indptr[i])
+            d_cols = dst.indices[d_start : int(dst.indptr[i + 1])]
+            pos = np.searchsorted(d_cols, s_cols)
+            assert np.all(d_cols[pos] == s_cols)
+            out[int(src.indptr[i]) : int(src.indptr[i + 1])] = d_start + pos
+        return out
+
+    # ------------------------------------------------------------------
+    @property
+    def num_levels(self) -> int:
+        return self.schedule.num_levels
+
+    def same_pattern(self, a: CSRMatrix) -> bool:
+        return (
+            a.shape == self.pre.matrix.shape
+            and np.array_equal(a.indptr, self._pattern_indptr)
+            and np.array_equal(a.indices, self._pattern_indices)
+        )
+
+    def refactorize(self, a: CSRMatrix) -> RefactorizeResult:
+        """Numeric-only factorization of new values on the same pattern.
+
+        ``a`` must be the matrix *after* applying the analysis's
+        pre-processing transforms would yield the analyzed pattern; in
+        practice: the same generator/stamper output with new values.  The
+        pre-processing permutations/scalings recorded at analysis time are
+        re-applied to the values here.
+        """
+        # re-apply the recorded transforms to the new values
+        work = a
+        if self.pre.row_scale is not None:
+            from ..sparse import scale
+
+            work = scale(work, row_scale=self.pre.row_scale,
+                         col_scale=self.pre.col_scale)
+        ident = np.arange(a.n_rows, dtype=INDEX_DTYPE)
+        if not (np.array_equal(self.pre.row_perm, ident)
+                and np.array_equal(self.pre.col_perm, ident)):
+            from ..sparse import permute
+
+            work = permute(work, row_perm=self.pre.row_perm,
+                           col_perm=self.pre.col_perm)
+        if not self.same_pattern(work):
+            raise SparseFormatError(
+                "refactorize requires the exact analyzed pattern; run "
+                "analyze() again for a structurally different matrix"
+            )
+        filled = CSRMatrix(
+            self.filled.n_rows,
+            self.filled.n_cols,
+            self.filled.indptr,
+            self.filled.indices,
+            np.zeros(self.filled.nnz, dtype=np.float64),
+            check=False,
+        )
+        filled.data[self._scatter] = work.data
+        num = numeric_factorize_gpu(
+            self.gpu, filled, self.schedule, self.config, as_resident=False
+        )
+        L, U = num.factors()
+        return RefactorizeResult(L=L, U=U, numeric=num, analysis=self)
+
+
+def analyze(a: CSRMatrix, config: SolverConfig | None = None,
+            *, gpu: GPU | None = None) -> ReusableAnalysis:
+    """Run the pattern-dependent phases once (Figure 2 minus numeric).
+
+    Returns a :class:`ReusableAnalysis` whose :meth:`refactorize` performs
+    numeric-only passes — the circuit-simulation amortization pattern.
+    """
+    cfg = config or SolverConfig()
+    if gpu is None:
+        gpu = GPU(spec=cfg.device, host=cfg.host, cost=cfg.cost_model)
+    t0 = gpu.ledger.total_seconds
+    pre = preprocess(a, cfg.preprocess)
+    sym = outofcore_symbolic(gpu, pre.matrix, cfg)
+    graph = build_dependency_graph(sym.filled)
+    lev = levelize_gpu_dynamic(gpu, graph, cfg)
+    # the reusable analysis keeps nothing device-resident between passes
+    if sym.device_filled is not None:
+        gpu.free(sym.device_filled)
+    for buf in sym.device_graph:
+        gpu.free(buf)
+    return ReusableAnalysis(
+        gpu=gpu,
+        config=cfg,
+        pre=pre,
+        filled=sym.filled,
+        graph=graph,
+        schedule=lev.schedule,
+        analysis_seconds=gpu.ledger.total_seconds - t0,
+    )

@@ -1,0 +1,41 @@
+"""High-level convenience API: ``factorize`` and ``solve``.
+
+The one-stop entry points a downstream user calls; they accept our CSR
+container, any scipy.sparse matrix, or a dense 2-D array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse import CSRMatrix
+from .config import SolverConfig
+from .pipeline import EndToEndLU, EndToEndResult
+
+
+def _as_csr(a) -> CSRMatrix:
+    if isinstance(a, CSRMatrix):
+        return a
+    if isinstance(a, np.ndarray):
+        return CSRMatrix.from_dense(a)
+    # scipy.sparse duck-typing without importing scipy here
+    if hasattr(a, "tocsr"):
+        from ..sparse.convert import from_scipy
+
+        return from_scipy(a)
+    raise TypeError(f"cannot interpret {type(a)!r} as a sparse matrix")
+
+
+def factorize(a, config: SolverConfig | None = None) -> EndToEndResult:
+    """Run the end-to-end GPU LU pipeline on ``a`` and return the result.
+
+    ``a`` may be a :class:`~repro.sparse.CSRMatrix`, a scipy.sparse matrix
+    or a dense numpy array.  The result exposes ``solve(b)``, the factors
+    ``L``/``U`` and the per-phase simulated-time breakdown.
+    """
+    return EndToEndLU(config).factorize(_as_csr(a))
+
+
+def solve(a, b: np.ndarray, config: SolverConfig | None = None) -> np.ndarray:
+    """Solve ``A x = b`` with the end-to-end GPU LU pipeline."""
+    return factorize(a, config).solve(b)

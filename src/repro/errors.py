@@ -1,0 +1,70 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class.  The GPU simulator raises :class:`DeviceMemoryError` when an
+allocation exceeds the simulated device capacity — the condition that
+motivates the paper's out-of-core design — and :class:`SingularMatrixError`
+when a zero pivot is met during numeric factorization.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SparseFormatError(ReproError):
+    """A sparse container was constructed from or used with invalid data."""
+
+
+class DeviceMemoryError(ReproError):
+    """A simulated device allocation exceeded available device memory."""
+
+    def __init__(self, requested: int, available: int, what: str = "") -> None:
+        self.requested = int(requested)
+        self.available = int(available)
+        self.what = what
+        super().__init__(
+            f"device OOM: requested {requested} B, {available} B free"
+            + (f" while allocating {what}" if what else "")
+        )
+
+
+class HostMemoryError(ReproError):
+    """A simulated host allocation exceeded available host memory."""
+
+
+class SingularMatrixError(ReproError):
+    """A (numerically) zero pivot was encountered during factorization."""
+
+    def __init__(self, column: int, value: float = 0.0) -> None:
+        self.column = int(column)
+        self.value = float(value)
+        super().__init__(f"zero/tiny pivot at column {column}: {value!r}")
+
+
+class StructurallySingularError(ReproError):
+    """The matrix has no zero-free diagonal (no perfect bipartite matching)."""
+
+
+class NotLowerTriangularError(ReproError):
+    """A matrix expected to be (unit) lower triangular is not."""
+
+
+class NotUpperTriangularError(ReproError):
+    """A matrix expected to be upper triangular is not."""
+
+
+class CycleError(ReproError):
+    """The dependency graph contains a cycle (not a DAG)."""
+
+    def __init__(self, remaining: int) -> None:
+        self.remaining = int(remaining)
+        super().__init__(
+            f"topological sort failed: {remaining} node(s) remain on a cycle"
+        )
+
+
+class ConfigurationError(ReproError):
+    """An invalid solver / simulator configuration was supplied."""

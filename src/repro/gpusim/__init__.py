@@ -1,0 +1,51 @@
+"""GPU execution-model simulator.
+
+This package is the repository's substitute for the paper's CUDA / Tesla
+V100 substrate (see DESIGN.md §2): a deterministic analytic simulator with
+
+* :mod:`~repro.gpusim.device` — hardware descriptions (Table 1 V100, host
+  Xeon, scaled variants for the scaled-down workloads);
+* :mod:`~repro.gpusim.memory` — device memory allocator whose OOM failure is
+  the condition motivating the out-of-core design;
+* :mod:`~repro.gpusim.costmodel` — the documented constants converting real,
+  measured work counts into simulated seconds;
+* :mod:`~repro.gpusim.engine` — the :class:`GPU` facade algorithms program
+  against (malloc / h2d / launch kernels);
+* :mod:`~repro.gpusim.unified` — the unified-memory pager with fault groups
+  and prefetching (the §4.3 baseline);
+* :mod:`~repro.gpusim.ledger` — per-phase simulated-time accounting.
+"""
+
+from .costmodel import CostModel, DEFAULT_COST_MODEL
+from .device import (
+    DeviceSpec,
+    HostSpec,
+    V100,
+    XEON_E5_2680,
+    scaled_device,
+    scaled_host,
+)
+from .engine import GPU
+from .ledger import TimeLedger
+from .memory import Buffer, DeviceMemoryPool
+from .trace import TraceEvent, TracingGPU
+from .unified import UMRegion, UnifiedMemoryPager
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "DeviceSpec",
+    "HostSpec",
+    "V100",
+    "XEON_E5_2680",
+    "scaled_device",
+    "scaled_host",
+    "GPU",
+    "TimeLedger",
+    "Buffer",
+    "DeviceMemoryPool",
+    "UMRegion",
+    "UnifiedMemoryPager",
+    "TracingGPU",
+    "TraceEvent",
+]

@@ -1,0 +1,117 @@
+"""Device and host hardware descriptions.
+
+:data:`V100` reproduces Table 1 of the paper (Nvidia Tesla V100) and
+:data:`XEON_E5_2680` the host CPU of §4.1 (Intel Xeon E5-2680, 14 cores /
+28 hyper-threads, 128 GB host memory).
+
+The experiments in this repository run on *scaled-down* synthetic matrices,
+so :func:`scaled_device` produces a V100 with proportionally smaller device
+memory — preserving the paper's defining property that the intermediate
+symbolic data (``6 * n`` bytes per in-flight source row, §3.2) cannot fit
+for any Table 2 matrix, and that Table 4 matrices exceed the dense-format
+parallelism bound ``M = L / (n * sizeof(dtype)) < TB_max`` (§3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a (simulated) CUDA device.
+
+    ``max_concurrent_blocks`` is the paper's ``TB_max``: the V100 footnote in
+    §4.4 states "the maximal number of thread blocks of our GPU is 160"
+    (80 SMs x 2 resident blocks for these kernels' occupancy).
+    """
+
+    name: str
+    num_sms: int
+    fp32_cores: int
+    memory_bytes: int
+    memory_interface: str
+    max_threads_per_block: int
+    max_registers_per_thread: int
+    register_file_per_sm_kb: int
+    shared_memory_per_sm_kb: int
+    warp_size: int
+    max_concurrent_blocks: int
+    clock_hz: float
+
+    @property
+    def cores_per_sm(self) -> int:
+        return self.fp32_cores // self.num_sms
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak single-precision FLOP/s (2 per FMA)."""
+        return 2.0 * self.fp32_cores * self.clock_hz
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """Static description of the simulated host CPU."""
+
+    name: str
+    physical_cores: int
+    threads_per_core: int
+    memory_bytes: int
+    clock_hz: float
+
+    @property
+    def hw_threads(self) -> int:
+        return self.physical_cores * self.threads_per_core
+
+
+#: Table 1 — Specifications of Nvidia Tesla V100.
+V100 = DeviceSpec(
+    name="Tesla V100",
+    num_sms=80,
+    fp32_cores=5120,
+    memory_bytes=16 * 1024**3,  # 16 GB HBM2
+    memory_interface="4096-bit HBM2",
+    max_threads_per_block=1024,
+    max_registers_per_thread=255,
+    register_file_per_sm_kb=65536 // 1024,
+    shared_memory_per_sm_kb=96,
+    warp_size=32,
+    max_concurrent_blocks=160,  # TB_max in §3.4 / footnote 2
+    clock_hz=1.38e9,
+)
+
+#: §4.1 — Intel Xeon E5-2680 v? (Ivy Bridge), 14 cores x 2 HT, 128 GB host RAM.
+XEON_E5_2680 = HostSpec(
+    name="Intel Xeon E5-2680",
+    physical_cores=14,
+    threads_per_core=2,
+    memory_bytes=128 * 1024**3,
+    clock_hz=2.4e9,
+)
+
+
+def scaled_device(
+    memory_bytes: int, base: DeviceSpec = V100, name_suffix: str = "scaled"
+) -> DeviceSpec:
+    """A copy of ``base`` with ``memory_bytes`` of device memory.
+
+    Only the capacity changes — compute shape (SMs, TB_max, warp size) stays
+    that of the V100 so parallelism-limit arithmetic matches the paper.
+    """
+    if memory_bytes <= 0:
+        raise ValueError("memory_bytes must be positive")
+    return replace(base, memory_bytes=int(memory_bytes),
+                   name=f"{base.name} ({name_suffix})")
+
+
+def scaled_host(memory_bytes: int, base: HostSpec = XEON_E5_2680) -> HostSpec:
+    """A copy of ``base`` with ``memory_bytes`` of host memory."""
+    if memory_bytes <= 0:
+        raise ValueError("memory_bytes must be positive")
+    return HostSpec(
+        name=f"{base.name} (scaled)",
+        physical_cores=base.physical_cores,
+        threads_per_core=base.threads_per_core,
+        memory_bytes=int(memory_bytes),
+        clock_hz=base.clock_hz,
+    )

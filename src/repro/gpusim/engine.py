@@ -1,0 +1,141 @@
+"""The simulated GPU: memory pool + kernel-launch/time accounting facade.
+
+Algorithm implementations (out-of-core symbolic, GPU levelization, numeric
+kernels) talk to this class only: they ``malloc``/``free`` device buffers,
+``h2d``/``d2h`` explicit transfers, and ``launch_*`` kernels with *measured*
+work counts.  All seconds flow through the :class:`~repro.gpusim.costmodel.
+CostModel` into the :class:`~repro.gpusim.ledger.TimeLedger`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .costmodel import CostModel, DEFAULT_COST_MODEL
+from .device import DeviceSpec, HostSpec, V100, XEON_E5_2680
+from .ledger import TimeLedger
+from .memory import Buffer, DeviceMemoryPool
+
+
+@dataclass
+class GPU:
+    """A simulated CUDA device attached to a simulated host.
+
+    Parameters
+    ----------
+    spec:
+        Device hardware description (defaults to the paper's V100).
+    host:
+        Host CPU description (defaults to the paper's Xeon E5-2680).
+    cost:
+        The analytic cost model converting work counts to seconds.
+    """
+
+    spec: DeviceSpec = V100
+    host: HostSpec = XEON_E5_2680
+    cost: CostModel = DEFAULT_COST_MODEL
+    ledger: TimeLedger = field(default_factory=TimeLedger)
+    pool: DeviceMemoryPool = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.pool is None:
+            self.pool = DeviceMemoryPool(capacity_bytes=self.spec.memory_bytes)
+
+    # -- memory --------------------------------------------------------
+    def malloc(self, nbytes: int, label: str = "") -> Buffer:
+        """Allocate simulated device memory (OOM raises DeviceMemoryError)."""
+        return self.pool.malloc(nbytes, label)
+
+    def free(self, buf: Buffer) -> None:
+        self.pool.free(buf)
+
+    def would_fit(self, nbytes: int) -> bool:
+        return self.pool.would_fit(nbytes)
+
+    @property
+    def free_bytes(self) -> int:
+        return self.pool.free_bytes
+
+    # -- explicit transfers ------------------------------------------------
+    def h2d(self, nbytes: int, category: str | None = "transfer") -> None:
+        """Charge one host->device DMA of ``nbytes``."""
+        self.ledger.charge(self.cost.transfer_seconds(int(nbytes)), category)
+        self.ledger.count("h2d_transfers")
+        self.ledger.count("bytes_h2d", int(nbytes))
+
+    def d2h(self, nbytes: int, category: str | None = "transfer") -> None:
+        """Charge one device->host DMA of ``nbytes``."""
+        self.ledger.charge(self.cost.transfer_seconds(int(nbytes)), category)
+        self.ledger.count("d2h_transfers")
+        self.ledger.count("bytes_d2h", int(nbytes))
+
+    # -- kernel launches ---------------------------------------------------
+    def _launch_overhead(self, from_device: bool) -> None:
+        self.ledger.charge(self.cost.launch_seconds(from_device=from_device))
+        self.ledger.count(
+            "child_kernel_launches" if from_device else "kernel_launches"
+        )
+
+    def launch_traversal(
+        self,
+        edges: int,
+        avg_degree: float,
+        blocks: int,
+        *,
+        from_device: bool = False,
+        compute_derate: float = 1.0,
+    ) -> float:
+        """Graph-traversal kernel (fill2 / Kahn) scanning ``edges`` edges with
+        ``blocks`` thread blocks in flight.  Returns seconds charged."""
+        self._launch_overhead(from_device)
+        secs = self.cost.gpu_traversal_seconds(
+            int(edges), avg_degree, int(blocks), self.spec
+        )
+        if compute_derate < 1.0:
+            secs /= max(compute_derate, 1e-6)
+        self.ledger.charge(secs, "gpu_compute")
+        return secs
+
+    def launch_numeric(
+        self,
+        flops: int,
+        blocks: int,
+        *,
+        concurrency_cap: int | None = None,
+        search_steps: int = 0,
+        from_device: bool = False,
+    ) -> float:
+        """Numeric-factorization kernel performing ``flops`` updates."""
+        cap = (
+            self.spec.max_concurrent_blocks
+            if concurrency_cap is None
+            else int(concurrency_cap)
+        )
+        self._launch_overhead(from_device)
+        secs = self.cost.gpu_numeric_seconds(
+            int(flops), int(blocks), cap, self.spec, search_steps=int(search_steps)
+        )
+        self.ledger.charge(secs, "gpu_compute")
+        return secs
+
+    def launch_utility(self, items: int, *, from_device: bool = False) -> float:
+        """Small regular kernel (prefix sum, init, compaction): full-width,
+        bandwidth-friendly work over ``items`` elements."""
+        self._launch_overhead(from_device)
+        secs = items / self.cost.gpu_traversal_edges_per_s
+        self.ledger.charge(secs, "gpu_compute")
+        return secs
+
+    def hbm_traffic(self, nbytes: int) -> float:
+        """On-device pack/unpack traffic (dense numeric format, §3.4)."""
+        secs = self.cost.hbm_seconds(int(nbytes))
+        self.ledger.charge(secs, "gpu_compute")
+        self.ledger.count("bytes_hbm", int(nbytes))
+        return secs
+
+    # -- convenience -------------------------------------------------------
+    def snapshot(self) -> dict:
+        snap = self.ledger.snapshot()
+        snap["device"] = self.spec.name
+        snap["peak_device_bytes"] = self.pool.peak_bytes
+        return snap

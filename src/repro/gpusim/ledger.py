@@ -1,0 +1,88 @@
+"""Simulated-time ledger.
+
+Every simulator component charges seconds and increments counters here.
+Phases nest: charging while inside ``with ledger.phase("symbolic")`` books
+the time both to the phase and to the total.  The benchmark harness reads
+phase breakdowns to draw the paper's stacked "symbolic / numeric" bars
+(Figs. 4-6) and the fault-service percentages of Table 3.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TimeLedger:
+    """Accumulates simulated seconds by phase plus named event counters."""
+
+    phase_seconds: dict[str, float] = field(
+        default_factory=lambda: defaultdict(float)
+    )
+    counters: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    _stack: list[str] = field(default_factory=list)
+    total_seconds: float = 0.0
+
+    # -- time -----------------------------------------------------------
+    def charge(self, seconds: float, category: str | None = None) -> None:
+        """Add ``seconds`` to the total, the current phase stack and, if
+        given, the extra ``category`` bucket (e.g. ``"fault_service"``)."""
+        if seconds < 0:
+            raise ValueError("cannot charge negative time")
+        self.total_seconds += seconds
+        for ph in self._stack:
+            self.phase_seconds[ph] += seconds
+        if category is not None:
+            self.phase_seconds[category] += seconds
+
+    @contextmanager
+    def phase(self, name: str):
+        """Context manager; time charged inside books to phase ``name``."""
+        self._stack.append(name)
+        try:
+            yield self
+        finally:
+            self._stack.pop()
+
+    def seconds(self, phase: str) -> float:
+        return float(self.phase_seconds.get(phase, 0.0))
+
+    # -- counters ---------------------------------------------------------
+    def count(self, name: str, increment: int = 1) -> None:
+        self.counters[name] += int(increment)
+
+    def get_count(self, name: str) -> int:
+        return int(self.counters.get(name, 0))
+
+    # -- reporting ----------------------------------------------------------
+    def fraction(self, phase: str) -> float:
+        """Phase share of total simulated time (0 when nothing charged)."""
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.seconds(phase) / self.total_seconds
+
+    def merge(self, other: "TimeLedger") -> None:
+        """Fold another ledger's totals into this one (phases summed)."""
+        self.total_seconds += other.total_seconds
+        for k, v in other.phase_seconds.items():
+            self.phase_seconds[k] += v
+        for k, v in other.counters.items():
+            self.counters[k] += v
+
+    def snapshot(self) -> dict:
+        """Plain-dict view for reports / serialization."""
+        return {
+            "total_seconds": self.total_seconds,
+            "phases": dict(self.phase_seconds),
+            "counters": dict(self.counters),
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        lines = [f"total: {self.total_seconds:.6f}s"]
+        for k in sorted(self.phase_seconds):
+            lines.append(f"  {k}: {self.phase_seconds[k]:.6f}s")
+        for k in sorted(self.counters):
+            lines.append(f"  #{k}: {self.counters[k]}")
+        return "\n".join(lines)

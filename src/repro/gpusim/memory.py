@@ -1,0 +1,78 @@
+"""Simulated device memory allocator.
+
+A simple bump-style pool with live-allocation tracking: allocations succeed
+while total live bytes fit in the device capacity and raise
+:class:`~repro.errors.DeviceMemoryError` otherwise — the failure mode that
+forces the paper's out-of-core design.  The pool tracks a high-water mark so
+experiments can report peak device usage.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..errors import DeviceMemoryError
+
+
+@dataclass(frozen=True)
+class Buffer:
+    """Handle to a live simulated device allocation."""
+
+    buffer_id: int
+    nbytes: int
+    label: str
+
+
+@dataclass
+class DeviceMemoryPool:
+    """Tracks live simulated allocations against a fixed capacity."""
+
+    capacity_bytes: int
+    reserved_bytes: int = 0  # runtime/context reservation, unusable
+    _live: dict[int, Buffer] = field(default_factory=dict)
+    _ids: "itertools.count" = field(default_factory=itertools.count)
+    peak_bytes: int = 0
+    total_allocs: int = 0
+
+    def __post_init__(self) -> None:
+        if self.reserved_bytes >= self.capacity_bytes:
+            raise ValueError("reservation exceeds capacity")
+
+    @property
+    def usable_bytes(self) -> int:
+        return self.capacity_bytes - self.reserved_bytes
+
+    @property
+    def live_bytes(self) -> int:
+        return sum(b.nbytes for b in self._live.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.usable_bytes - self.live_bytes
+
+    def malloc(self, nbytes: int, label: str = "") -> Buffer:
+        """Allocate ``nbytes``; raises :class:`DeviceMemoryError` on OOM."""
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        if nbytes > self.free_bytes:
+            raise DeviceMemoryError(nbytes, self.free_bytes, label)
+        buf = Buffer(next(self._ids), nbytes, label)
+        self._live[buf.buffer_id] = buf
+        self.total_allocs += 1
+        self.peak_bytes = max(self.peak_bytes, self.live_bytes)
+        return buf
+
+    def free(self, buf: Buffer) -> None:
+        """Release a live buffer (double-free raises KeyError)."""
+        del self._live[buf.buffer_id]
+
+    def free_all(self) -> None:
+        self._live.clear()
+
+    def would_fit(self, nbytes: int) -> bool:
+        return int(nbytes) <= self.free_bytes
+
+    def live_buffers(self) -> list[Buffer]:
+        return list(self._live.values())

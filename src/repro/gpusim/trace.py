@@ -1,0 +1,144 @@
+"""Execution tracing: a timeline of simulated device events.
+
+Wraps a :class:`~repro.gpusim.engine.GPU` so every kernel launch, transfer
+and allocation is recorded with its simulated start/end time.  Traces can
+be exported as Chrome trace-event JSON (``chrome://tracing`` /
+`Perfetto <https://ui.perfetto.dev>`_) — the natural way to *see* the
+pipeline's phase structure, chunk loops and level waves.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .engine import GPU
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One simulated device event."""
+
+    name: str
+    category: str  # "kernel" | "transfer" | "alloc" | "free"
+    start_s: float
+    duration_s: float
+    args: dict = field(default_factory=dict)
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+
+class TracingGPU(GPU):
+    """A :class:`GPU` that records every operation as a trace event.
+
+    Drop-in: pass wherever a ``GPU`` is expected.  ``events`` accumulates
+    in operation order; ``to_chrome_trace`` serializes them.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.events: list[TraceEvent] = []
+
+    # -- recording helpers ------------------------------------------------
+    def _record(self, name: str, category: str, start: float,
+                **args) -> None:
+        self.events.append(
+            TraceEvent(
+                name=name,
+                category=category,
+                start_s=start,
+                duration_s=self.ledger.total_seconds - start,
+                args=args,
+            )
+        )
+
+    # -- overridden operations ----------------------------------------------
+    def h2d(self, nbytes: int, category=None) -> None:  # noqa: D102
+        t0 = self.ledger.total_seconds
+        super().h2d(nbytes, category)
+        self._record("h2d", "transfer", t0, bytes=int(nbytes))
+
+    def d2h(self, nbytes: int, category=None) -> None:  # noqa: D102
+        t0 = self.ledger.total_seconds
+        super().d2h(nbytes, category)
+        self._record("d2h", "transfer", t0, bytes=int(nbytes))
+
+    def launch_traversal(self, edges, avg_degree, blocks, *,
+                         from_device=False, compute_derate=1.0):  # noqa: D102
+        t0 = self.ledger.total_seconds
+        out = super().launch_traversal(
+            edges, avg_degree, blocks,
+            from_device=from_device, compute_derate=compute_derate,
+        )
+        self._record(
+            "traversal_kernel", "kernel", t0,
+            edges=int(edges), blocks=int(blocks),
+            dynamic_parallelism=bool(from_device),
+        )
+        return out
+
+    def launch_numeric(self, flops, blocks, *, concurrency_cap=None,
+                       search_steps=0, from_device=False):  # noqa: D102
+        t0 = self.ledger.total_seconds
+        out = super().launch_numeric(
+            flops, blocks, concurrency_cap=concurrency_cap,
+            search_steps=search_steps, from_device=from_device,
+        )
+        self._record(
+            "numeric_kernel", "kernel", t0,
+            flops=int(flops), blocks=int(blocks),
+            search_steps=int(search_steps),
+        )
+        return out
+
+    def launch_utility(self, items, *, from_device=False):  # noqa: D102
+        t0 = self.ledger.total_seconds
+        out = super().launch_utility(items, from_device=from_device)
+        self._record("utility_kernel", "kernel", t0, items=int(items))
+        return out
+
+    def malloc(self, nbytes, label=""):  # noqa: D102
+        buf = super().malloc(nbytes, label)
+        self._record(f"malloc:{label}", "alloc", self.ledger.total_seconds,
+                     bytes=int(nbytes))
+        return buf
+
+    # -- export ---------------------------------------------------------------
+    def to_chrome_trace(self) -> list[dict]:
+        """Chrome trace-event JSON objects (``ph: X`` complete events;
+        microsecond timestamps as the format requires)."""
+        out = []
+        for ev in self.events:
+            out.append(
+                {
+                    "name": ev.name,
+                    "cat": ev.category,
+                    "ph": "X",
+                    "ts": ev.start_s * 1e6,
+                    "dur": max(ev.duration_s * 1e6, 0.001),
+                    "pid": 0,
+                    "tid": {"kernel": 1, "transfer": 2}.get(ev.category, 3),
+                    "args": ev.args,
+                }
+            )
+        return out
+
+    def write_chrome_trace(self, path) -> None:
+        Path(path).write_text(
+            json.dumps({"traceEvents": self.to_chrome_trace()})
+        )
+
+    # -- summaries --------------------------------------------------------------
+    def event_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for ev in self.events:
+            counts[ev.category] = counts.get(ev.category, 0) + 1
+        return counts
+
+    def busy_seconds(self, category: str) -> float:
+        return sum(
+            ev.duration_s for ev in self.events if ev.category == category
+        )

@@ -1,0 +1,146 @@
+"""Levelization: grouping independent columns for parallel factorization.
+
+Columns within one level have no dependency edge between them and can be
+factorized concurrently (Figure 1(c)/(d)).  The level of a column is the
+longest-path depth in the dependency DAG:
+
+    level(k) = max(-1, level(c1), level(c2), ...) + 1
+
+Two CPU schedulers live here:
+
+* :func:`levelize_cpu` — the GLU 3.0-style sequential pass (what previous
+  work ran on the host; the baseline of §3.3);
+* :func:`kahn_levels` — the classic Kahn queue formulation whose GPU
+  dynamic-parallelism port is the paper's Algorithm 5
+  (:mod:`repro.core.levelize_gpu`).
+
+Both return a :class:`LevelSchedule`; tests assert they agree with each
+other and with networkx's longest-path computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import CycleError
+from ..sparse.types import INDEX_DTYPE
+from .depgraph import DependencyGraph
+
+#: GLU 3.0 level taxonomy (§2.2): type A levels have many columns with few
+#: sub-columns, type C few columns with many sub-columns, type B the
+#: transition.  The thresholds are cost-consistent with the kernel model in
+#: :mod:`repro.core.numeric_gpu`: a level becomes type C exactly when its
+#: sub-column concurrency exceeds what type B's per-block warp teams could
+#: expose (``mean_sub > WARP_TEAMS x ncols``), and type A when sub-column
+#: counts are too small to matter.  They shape only the kernel-mode choice,
+#: never correctness.
+TYPE_A_MAX_SUBCOLS = 1.5
+TYPE_C_WARP_TEAMS = 8
+
+
+@dataclass
+class LevelSchedule:
+    """The output of levelization: a parallel execution plan for columns."""
+
+    level_of: np.ndarray  # level id per column
+    levels: list[np.ndarray] = field(default_factory=list)  # columns per level
+
+    def __post_init__(self) -> None:
+        if not self.levels and len(self.level_of):
+            num = int(self.level_of.max()) + 1
+            order = np.argsort(self.level_of, kind="stable")
+            bounds = np.searchsorted(self.level_of[order], np.arange(num + 1))
+            self.levels = [
+                order[bounds[k] : bounds[k + 1]].astype(INDEX_DTYPE)
+                for k in range(num)
+            ]
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.levels)
+
+    @property
+    def n(self) -> int:
+        return len(self.level_of)
+
+    def columns_per_level(self) -> np.ndarray:
+        return np.array([len(lv) for lv in self.levels], dtype=np.int64)
+
+    def validate_against(self, graph: DependencyGraph) -> None:
+        """Assert the schedule respects every dependency edge."""
+        for i in range(graph.n):
+            li = self.level_of[i]
+            for j in graph.successors(i):
+                if self.level_of[j] <= li:
+                    raise AssertionError(
+                        f"edge {i}->{int(j)} violates levels "
+                        f"{li} -> {int(self.level_of[j])}"
+                    )
+
+    def classify_levels(self, sub_cols: np.ndarray) -> list[str]:
+        """GLU 3.0 type A/B/C tag per level (drives kernel-mode choice)."""
+        tags = []
+        for lv in self.levels:
+            ncols = len(lv)
+            mean_sub = float(sub_cols[lv].mean()) if ncols else 0.0
+            if mean_sub <= TYPE_A_MAX_SUBCOLS:
+                tags.append("A")
+            elif mean_sub > TYPE_C_WARP_TEAMS * ncols:
+                tags.append("C")
+            else:
+                tags.append("B")
+        return tags
+
+
+def levelize_cpu(graph: DependencyGraph) -> LevelSchedule:
+    """GLU 3.0-style sequential levelization.
+
+    Because every edge goes forward (i -> j implies i < j), a single
+    ascending pass computes the longest-path level of each column.
+    """
+    level = np.full(graph.n, -1, dtype=INDEX_DTYPE)
+    # Process in column order; propagate to successors.
+    for i in range(graph.n):
+        if level[i] < 0:
+            level[i] = 0
+        succ = graph.successors(i)
+        if len(succ):
+            level[succ] = np.maximum(level[succ], level[i] + 1)
+    return LevelSchedule(level_of=level)
+
+
+def kahn_levels(graph: DependencyGraph) -> LevelSchedule:
+    """Kahn's algorithm by frontier waves; the CPU reference of Algorithm 5.
+
+    Level ``k`` is the k-th wave of zero-in-degree nodes.  Raises
+    :class:`~repro.errors.CycleError` if the graph is not a DAG.
+    """
+    indeg = graph.in_degree.copy()
+    level = np.full(graph.n, -1, dtype=INDEX_DTYPE)
+    queue = np.flatnonzero(indeg == 0).astype(INDEX_DTYPE)
+    processed = 0
+    level_num = 0
+    levels: list[np.ndarray] = []
+    while len(queue):
+        level[queue] = level_num
+        levels.append(queue.copy())
+        processed += len(queue)
+        # decrement in-degrees of all successors of the wave
+        nexts: list[np.ndarray] = []
+        for u in queue:
+            succ = graph.successors(int(u))
+            if len(succ):
+                nexts.append(succ)
+        if nexts:
+            cat = np.concatenate(nexts)
+            dec = np.bincount(cat, minlength=graph.n)
+            indeg -= dec
+            queue = np.flatnonzero((indeg == 0) & (dec > 0)).astype(INDEX_DTYPE)
+        else:
+            queue = np.empty(0, dtype=INDEX_DTYPE)
+        level_num += 1
+    if processed != graph.n:
+        raise CycleError(graph.n - processed)
+    return LevelSchedule(level_of=level, levels=levels)

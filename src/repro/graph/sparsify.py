@@ -1,0 +1,73 @@
+"""Level-preserving sparsification of the dependency graph.
+
+GLU 3.0's headline scheduling improvement (paper §5) is a *relaxed but much
+more efficient data dependency detection*: most dependency edges are
+redundant for scheduling because a longer path already enforces the order.
+This module implements the strongest safe reduction for level scheduling:
+keep, for every column, only its *critical* in-edges — those arriving from
+level ``level(j) - 1``.  The longest-path levels (and therefore the entire
+schedule) are provably unchanged, while the per-wave ``update`` kernels of
+Algorithm 5 touch far fewer edges.
+
+Note the sparsified graph is a *scheduling* artifact only: the numeric
+kernels still read the full filled pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sparse.types import INDEX_DTYPE
+from .depgraph import DependencyGraph
+from .levelize import LevelSchedule, kahn_levels
+
+
+@dataclass(frozen=True)
+class SparsifyStats:
+    edges_before: int
+    edges_after: int
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of edges removed."""
+        if self.edges_before == 0:
+            return 0.0
+        return 1.0 - self.edges_after / self.edges_before
+
+
+def sparsify_for_levels(
+    graph: DependencyGraph, schedule: LevelSchedule | None = None
+) -> tuple[DependencyGraph, SparsifyStats]:
+    """Drop every edge that is not critical for the level assignment.
+
+    An edge ``(i, j)`` is kept iff ``level(i) == level(j) - 1``; all other
+    edges are implied transitively (``level(i) < level(j) - 1`` means some
+    longer chain already orders the pair).  Kahn's algorithm on the reduced
+    graph reproduces the identical :class:`LevelSchedule` (asserted in
+    tests) with ``O(kept edges)`` wave work.
+    """
+    if schedule is None:
+        schedule = kahn_levels(graph)
+    level = schedule.level_of
+    n = graph.n
+
+    src_all = np.repeat(
+        np.arange(n, dtype=INDEX_DTYPE), np.diff(graph.indptr)
+    )
+    dst_all = graph.targets
+    keep = level[src_all] == level[dst_all] - 1
+    src, dst = src_all[keep], dst_all[keep]
+
+    indptr = np.zeros(n + 1, dtype=INDEX_DTYPE)
+    np.cumsum(np.bincount(src, minlength=n), out=indptr[1:])
+    reduced = DependencyGraph(
+        n=n,
+        indptr=indptr,
+        targets=dst.astype(INDEX_DTYPE),
+        in_degree=np.bincount(dst, minlength=n).astype(INDEX_DTYPE),
+    )
+    return reduced, SparsifyStats(
+        edges_before=graph.num_edges, edges_after=reduced.num_edges
+    )

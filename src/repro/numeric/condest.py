@@ -1,0 +1,74 @@
+"""1-norm condition-number estimation (Hager/Higham power iteration).
+
+Static-pivot LU (the paper's setting) trades stability for parallelism, so
+a cheap a-posteriori condition estimate is the standard companion
+diagnostic: ``cond_1(A) = ||A||_1 * ||A^{-1}||_1``, with ``||A^{-1}||_1``
+estimated from a handful of solves against the computed factors — never
+forming the inverse.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse import CSRMatrix
+
+
+def onenorm(a: CSRMatrix) -> float:
+    """Exact 1-norm (max absolute column sum)."""
+    sums = np.zeros(a.n_cols, dtype=np.float64)
+    np.add.at(sums, a.indices, np.abs(a.data))
+    return float(sums.max(initial=0.0))
+
+
+def onenorm_inverse_estimate(
+    a: CSRMatrix, solve_fn, solve_t_fn=None, *, max_iter: int = 8
+) -> float:
+    """Hager's estimator for ``||A^{-1}||_1``.
+
+    ``solve_fn`` applies ``A^{-1}``; ``solve_t_fn`` applies ``A^{-T}``
+    (defaults to solving against the explicit transpose via ``solve_fn`` of
+    the caller's choice — pass it for exactness; without it the estimate
+    uses the symmetric-surrogate iteration, still a lower bound).
+    """
+    n = a.n_rows
+    x = np.full(n, 1.0 / n)
+    est = 0.0
+    for _ in range(max_iter):
+        y = solve_fn(x)
+        new_est = float(np.abs(y).sum())
+        xi = np.sign(y)
+        xi[xi == 0] = 1.0
+        z = solve_t_fn(xi) if solve_t_fn is not None else solve_fn(xi)
+        j = int(np.argmax(np.abs(z)))
+        if new_est <= est or float(np.abs(z).max()) <= float(z @ x):
+            est = max(est, new_est)
+            break
+        est = new_est
+        x = np.zeros(n)
+        x[j] = 1.0
+    # Higham's practical safeguard: compare with a structured probe vector
+    probe = np.array(
+        [(-1.0) ** i * (1.0 + i / max(n - 1, 1)) for i in range(n)]
+    )
+    est_probe = 2.0 * float(np.abs(solve_fn(probe)).sum()) / (3.0 * n)
+    return max(est, est_probe)
+
+
+def condest(a: CSRMatrix, solve_fn, solve_t_fn=None) -> float:
+    """Estimated 1-norm condition number ``||A||_1 ||A^{-1}||_1``.
+
+    A lower bound in theory; in practice within a small factor of the true
+    value (validated against dense ``numpy.linalg.cond`` in the tests).
+    """
+    return onenorm(a) * onenorm_inverse_estimate(a, solve_fn, solve_t_fn)
+
+
+def pivot_growth(a: CSRMatrix, U) -> float:
+    """Pivot growth factor ``max|U| / max|A|`` — the classic static-pivot
+    stability diagnostic (growth ~1 means elimination stayed tame)."""
+    import numpy as _np
+
+    amax = float(_np.abs(a.data).max(initial=0.0))
+    umax = float(_np.abs(U.data).max(initial=0.0))
+    return umax / amax if amax > 0 else float("inf")

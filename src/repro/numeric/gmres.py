@@ -1,0 +1,115 @@
+"""Restarted GMRES with optional (right-)preconditioning.
+
+A compact, dependency-free GMRES(m): Arnoldi with modified Gram-Schmidt
+and Givens-rotation least squares.  Pairs with :func:`~repro.numeric.ilu.
+ilu0_preconditioner` (or the exact factors, for a one-iteration sanity
+check) to form the iterative fallback path of a direct-solver package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sparse import CSRMatrix
+
+
+@dataclass
+class GmresResult:
+    x: np.ndarray
+    converged: bool
+    iterations: int          # total inner iterations
+    residual_norms: list[float]
+
+    @property
+    def final_residual(self) -> float:
+        return self.residual_norms[-1]
+
+
+def gmres(
+    a: CSRMatrix,
+    b: np.ndarray,
+    *,
+    x0: np.ndarray | None = None,
+    preconditioner=None,
+    tol: float = 1e-10,
+    restart: int = 30,
+    max_outer: int = 20,
+) -> GmresResult:
+    """Solve ``A x = b`` by right-preconditioned restarted GMRES.
+
+    ``preconditioner`` applies ``M^-1`` (e.g. the ILU(0) solve); right
+    preconditioning keeps the monitored residual the *true* residual.
+    Convergence: ``||b - A x|| <= tol * ||b||``.
+    """
+    n = a.n_rows
+    b = np.asarray(b, dtype=np.float64).reshape(-1)
+    if len(b) != n:
+        raise ValueError("rhs length mismatch")
+    M = preconditioner if preconditioner is not None else (lambda r: r)
+    bnorm = float(np.linalg.norm(b)) or 1.0
+
+    x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
+    norms: list[float] = []
+    total_iters = 0
+
+    for _ in range(max_outer):
+        r = b - a.matvec(x)
+        beta = float(np.linalg.norm(r))
+        norms.append(beta / bnorm)
+        if beta / bnorm <= tol:
+            return GmresResult(x, True, total_iters, norms)
+
+        m = restart
+        V = np.zeros((m + 1, n))
+        H = np.zeros((m + 1, m))
+        cs = np.zeros(m)
+        sn = np.zeros(m)
+        g = np.zeros(m + 1)
+        g[0] = beta
+        V[0] = r / beta
+
+        k_used = 0
+        for k in range(m):
+            w = a.matvec(M(V[k]))
+            # modified Gram-Schmidt
+            for i in range(k + 1):
+                H[i, k] = float(w @ V[i])
+                w -= H[i, k] * V[i]
+            H[k + 1, k] = float(np.linalg.norm(w))
+            if H[k + 1, k] > 1e-14:
+                V[k + 1] = w / H[k + 1, k]
+            # apply previous Givens rotations to the new column
+            for i in range(k):
+                t = cs[i] * H[i, k] + sn[i] * H[i + 1, k]
+                H[i + 1, k] = -sn[i] * H[i, k] + cs[i] * H[i + 1, k]
+                H[i, k] = t
+            # new rotation annihilating H[k+1, k]
+            denom = float(np.hypot(H[k, k], H[k + 1, k])) or 1e-300
+            cs[k] = H[k, k] / denom
+            sn[k] = H[k + 1, k] / denom
+            H[k, k] = denom
+            H[k + 1, k] = 0.0
+            g[k + 1] = -sn[k] * g[k]
+            g[k] = cs[k] * g[k]
+            total_iters += 1
+            k_used = k + 1
+            norms.append(abs(float(g[k + 1])) / bnorm)
+            if norms[-1] <= tol or H[k + 1, k] == 0 and k_used == n:
+                break
+
+        # back-substitute the small triangular system
+        y = np.zeros(k_used)
+        for i in range(k_used - 1, -1, -1):
+            y[i] = (g[i] - H[i, i + 1 : k_used] @ y[i + 1 :]) / H[i, i]
+        update = V[:k_used].T @ y
+        x = x + M(update)
+        if norms[-1] <= tol:
+            r = b - a.matvec(x)
+            norms.append(float(np.linalg.norm(r)) / bnorm)
+            if norms[-1] <= tol * 2:
+                return GmresResult(x, True, total_iters, norms)
+    r = b - a.matvec(x)
+    norms.append(float(np.linalg.norm(r)) / bnorm)
+    return GmresResult(x, norms[-1] <= tol, total_iters, norms)

@@ -1,0 +1,97 @@
+"""Left-looking (Gilbert-Peierls style) reference factorization.
+
+An independent numeric algorithm used to cross-check the right-looking
+production path: column ``j`` of the factors is obtained by solving the
+sparse lower-triangular system ``L(1:j-1, 1:j-1) x = A(1:j-1, j)`` against
+the already-computed columns, then scaling.  Works on a dense work vector
+per column (O(n) scatter/gather), which is simple and robust — this is the
+approach of KLU / SuperLU's reference kernels.
+
+Also provides :func:`dense_lu_nopivot`, the most direct possible oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SingularMatrixError
+from ..sparse import CSCMatrix, CSRMatrix
+
+
+def dense_lu_nopivot(a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Dense LU without pivoting: returns (L, U) with unit diagonal on L."""
+    a = np.array(a, dtype=np.float64, copy=True)
+    n = a.shape[0]
+    for k in range(n):
+        piv = a[k, k]
+        if piv == 0:
+            raise SingularMatrixError(k)
+        a[k + 1 :, k] /= piv
+        a[k + 1 :, k + 1 :] -= np.outer(a[k + 1 :, k], a[k, k + 1 :])
+    return np.tril(a, -1) + np.eye(n), np.triu(a)
+
+
+def factorize_leftlooking(
+    a: CSRMatrix, filled: CSRMatrix
+) -> tuple[CSCMatrix, CSCMatrix]:
+    """Left-looking LU on the precomputed filled pattern.
+
+    Parameters
+    ----------
+    a:
+        The original matrix (CSR).
+    filled:
+        Symbolic fill pattern of ``L + U`` (superset of ``a``'s pattern,
+        with a full diagonal).
+
+    Returns
+    -------
+    (L, U):
+        Unit-lower and upper factors in CSC with the filled pattern's
+        column structures.
+    """
+    n = a.n_rows
+    filled_csc = filled.to_csc()
+    indptr, indices = filled_csc.indptr, filled_csc.indices
+    out = np.zeros(filled_csc.nnz, dtype=np.float64)
+
+    a_csc = a.to_csc()
+    x = np.zeros(n, dtype=np.float64)
+    diag = np.zeros(n, dtype=np.float64)  # U(j, j) of finished columns
+
+    for j in range(n):
+        s, e = int(indptr[j]), int(indptr[j + 1])
+        pattern_rows = indices[s:e]
+        # scatter A(:, j)
+        arows, avals = a_csc.col(j)
+        x[pattern_rows] = 0.0
+        x[arows] = avals
+        # eliminate with finished columns k < j present in the pattern
+        for k_ in pattern_rows[pattern_rows < j]:
+            k = int(k_)
+            xk = x[k]
+            if xk == 0.0:
+                continue
+            ks, ke = int(indptr[k]), int(indptr[k + 1])
+            krows = indices[ks:ke]
+            below = krows > k
+            # x(i) -= L(i, k) * x(k) for i > k
+            x[krows[below]] -= out[ks:ke][below] * xk
+        # pivot
+        piv = x[j]
+        if piv == 0.0:
+            raise SingularMatrixError(j)
+        diag[j] = piv
+        # gather: U part stays as-is, L part divides by pivot
+        col_vals = x[pattern_rows].copy()
+        lower = pattern_rows > j
+        col_vals[lower] /= piv
+        out[s:e] = col_vals
+        x[pattern_rows] = 0.0
+
+    factored = CSCMatrix(
+        n, n, indptr.copy(), indices.copy(), out, check=False
+    )
+    from .rightlooking import extract_lu
+
+    return extract_lu(factored)

@@ -1,0 +1,69 @@
+"""Iterative refinement and residual diagnostics.
+
+With static pivoting (the paper's setting — no partial pivoting during
+numeric factorization) a few refinement sweeps recover accuracy lost to
+small pivots; this is the standard companion of static-pivot sparse LU
+(SuperLU_DIST does the same).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sparse import CSRMatrix
+from .trisolve import lu_solve_permuted
+
+
+@dataclass(frozen=True)
+class RefinementResult:
+    x: np.ndarray
+    iterations: int
+    residual_norms: tuple[float, ...]
+
+    @property
+    def final_residual(self) -> float:
+        return self.residual_norms[-1]
+
+
+def iterative_refinement(
+    a: CSRMatrix,
+    b: np.ndarray,
+    solve_fn,
+    *,
+    max_iter: int = 5,
+    tol: float = 1e-12,
+) -> RefinementResult:
+    """Refine ``x = solve_fn(rhs)`` against the true matrix ``a``.
+
+    ``solve_fn`` applies the (approximately) factorized inverse; refinement
+    iterates ``x += solve_fn(b - A x)`` until the relative residual falls
+    below ``tol`` or ``max_iter`` sweeps have run.
+    """
+    b = np.asarray(b, dtype=np.float64).reshape(-1)
+    bnorm = float(np.linalg.norm(b)) or 1.0
+    x = solve_fn(b)
+    norms = []
+    for it in range(max_iter + 1):
+        r = b - a.matvec(x)
+        rel = float(np.linalg.norm(r)) / bnorm
+        norms.append(rel)
+        if rel <= tol or it == max_iter:
+            return RefinementResult(x, it, tuple(norms))
+        x = x + solve_fn(r)
+    return RefinementResult(x, max_iter, tuple(norms))
+
+
+def make_lu_solver(L, U, row_perm=None, col_perm=None, row_scale=None,
+                   col_scale=None):
+    """Bind factors + permutations into a ``solve_fn`` for refinement."""
+
+    def solve_fn(rhs: np.ndarray) -> np.ndarray:
+        return lu_solve_permuted(
+            L, U, rhs,
+            row_perm=row_perm, col_perm=col_perm,
+            row_scale=row_scale, col_scale=col_scale,
+        )
+
+    return solve_fn

@@ -1,0 +1,79 @@
+"""Equilibration scaling and static pivot boosting.
+
+Row/column equilibration brings entries toward unit magnitude, improving
+the numerical behaviour of static-pivot LU (the paper, like GLU, performs
+no pivoting during numeric factorization).  Static pivot boosting replaces
+tiny diagonal pivots by a small multiple of the matrix norm — SuperLU_DIST's
+classic trick, also what the paper does manually for the Table 4 matrices
+(zero diagonals replaced by 1000).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sparse import CSRMatrix, scale
+
+
+@dataclass(frozen=True)
+class Equilibration:
+    """Diagonal scalings ``Dr``, ``Dc`` with ``B = Dr A Dc`` equilibrated."""
+
+    row_scale: np.ndarray
+    col_scale: np.ndarray
+
+
+def equilibrate(a: CSRMatrix, *, iterations: int = 1) -> tuple[CSRMatrix, Equilibration]:
+    """Scale rows then columns by their max magnitudes (optionally iterated).
+
+    Returns the scaled matrix and the applied diagonals.  Rows/columns with
+    no entries keep scale 1.
+    """
+    n_rows, n_cols = a.shape
+    row_scale = np.ones(n_rows, dtype=np.float64)
+    col_scale = np.ones(n_cols, dtype=np.float64)
+    work = a
+    for _ in range(max(1, iterations)):
+        r = _axis_max(work, axis=1)
+        r[r == 0] = 1.0
+        work = scale(work, row_scale=1.0 / r)
+        row_scale /= r
+        c = _axis_max(work, axis=0)
+        c[c == 0] = 1.0
+        work = scale(work, col_scale=1.0 / c)
+        col_scale /= c
+    return work, Equilibration(row_scale=row_scale, col_scale=col_scale)
+
+
+def _axis_max(a: CSRMatrix, axis: int) -> np.ndarray:
+    mags = np.abs(a.data)
+    if axis == 1:
+        out = np.zeros(a.n_rows, dtype=np.float64)
+        np.maximum.at(out, a.row_ids_of_entries(), mags)
+    else:
+        out = np.zeros(a.n_cols, dtype=np.float64)
+        np.maximum.at(out, a.indices, mags)
+    return out
+
+
+def boost_small_pivots(a: CSRMatrix, *, threshold_ratio: float = 1e-8,
+                       boost_ratio: float = 1e-4) -> tuple[CSRMatrix, int]:
+    """Replace diagonal entries smaller than ``threshold_ratio * max|A|``
+    by ``boost_ratio * max|A|`` (sign-preserving).  Returns the boosted
+    matrix and how many pivots were modified."""
+    if a.nnz == 0:
+        return a, 0
+    norm = float(np.abs(a.data).max())
+    thresh = threshold_ratio * norm
+    boost = boost_ratio * norm
+    out = a.copy()
+    boosted = 0
+    for i in range(min(out.n_rows, out.n_cols)):
+        cols, vals = out.row(i)
+        pos = int(np.searchsorted(cols, i))
+        if pos < len(cols) and cols[pos] == i and abs(vals[pos]) < thresh:
+            vals[pos] = boost if vals[pos] >= 0 else -boost
+            boosted += 1
+    return out, boosted

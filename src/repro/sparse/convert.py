@@ -1,0 +1,115 @@
+"""Format conversions between COO, CSR and CSC.
+
+All conversions are numpy-vectorized (stable argsort + cumulative counts);
+no per-entry Python loops.  Duplicate COO entries are summed, matching
+Matrix-Market semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .coo import COOMatrix
+from .csc import CSCMatrix
+from .csr import CSRMatrix
+from .types import INDEX_DTYPE
+
+
+def _compress(
+    n_major: int,
+    major: np.ndarray,
+    minor: np.ndarray,
+    data: np.ndarray,
+    n_minor: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Build (indptr, indices, data) sorted by (major, minor), duplicates summed."""
+    if len(major) == 0:
+        return (
+            np.zeros(n_major + 1, dtype=INDEX_DTYPE),
+            np.empty(0, dtype=INDEX_DTYPE),
+            np.empty(0, dtype=data.dtype),
+        )
+    key = major * np.int64(n_minor) + minor
+    order = np.argsort(key, kind="stable")
+    key_s = key[order]
+    uniq = np.empty(len(key_s), dtype=bool)
+    uniq[0] = True
+    np.not_equal(key_s[1:], key_s[:-1], out=uniq[1:])
+    group = np.cumsum(uniq) - 1
+    n_groups = int(group[-1]) + 1
+    summed = np.zeros(n_groups, dtype=data.dtype)
+    np.add.at(summed, group, data[order])
+    first = order[uniq]
+    major_u = major[first]
+    minor_u = minor[first]
+    counts = np.bincount(major_u, minlength=n_major)
+    indptr = np.zeros(n_major + 1, dtype=INDEX_DTYPE)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, minor_u.astype(INDEX_DTYPE), summed
+
+
+def coo_to_csr(coo: COOMatrix) -> CSRMatrix:
+    """Convert COO to CSR (rows compressed, columns sorted, duplicates summed)."""
+    indptr, indices, data = _compress(
+        coo.n_rows, coo.rows, coo.cols, coo.data, coo.n_cols
+    )
+    return CSRMatrix(coo.n_rows, coo.n_cols, indptr, indices, data, check=False)
+
+
+def coo_to_csc(coo: COOMatrix) -> CSCMatrix:
+    """Convert COO to CSC (columns compressed, rows sorted, duplicates summed)."""
+    indptr, indices, data = _compress(
+        coo.n_cols, coo.cols, coo.rows, coo.data, coo.n_rows
+    )
+    return CSCMatrix(coo.n_rows, coo.n_cols, indptr, indices, data, check=False)
+
+
+def csr_to_csc(csr: CSRMatrix) -> CSCMatrix:
+    """CSR -> CSC without going through duplicate-summing (already canonical)."""
+    rows = csr.row_ids_of_entries()
+    order = np.argsort(csr.indices, kind="stable")  # stable keeps rows sorted
+    indices = rows[order]
+    data = csr.data[order]
+    counts = np.bincount(csr.indices, minlength=csr.n_cols)
+    indptr = np.zeros(csr.n_cols + 1, dtype=INDEX_DTYPE)
+    np.cumsum(counts, out=indptr[1:])
+    return CSCMatrix(csr.n_rows, csr.n_cols, indptr, indices, data, check=False)
+
+
+def csc_to_csr(csc: CSCMatrix) -> CSRMatrix:
+    """CSC -> CSR (mirror of :func:`csr_to_csc`)."""
+    cols = csc.col_ids_of_entries()
+    order = np.argsort(csc.indices, kind="stable")
+    indices = cols[order]
+    data = csc.data[order]
+    counts = np.bincount(csc.indices, minlength=csc.n_rows)
+    indptr = np.zeros(csc.n_rows + 1, dtype=INDEX_DTYPE)
+    np.cumsum(counts, out=indptr[1:])
+    return CSRMatrix(csc.n_rows, csc.n_cols, indptr, indices, data, check=False)
+
+
+def to_scipy_csr(m: CSRMatrix):
+    """Bridge to :mod:`scipy.sparse` (used only in tests/verification)."""
+    import scipy.sparse as sp
+
+    return sp.csr_matrix((m.data, m.indices, m.indptr), shape=m.shape)
+
+
+def to_scipy_csc(m: CSCMatrix):
+    import scipy.sparse as sp
+
+    return sp.csc_matrix((m.data, m.indices, m.indptr), shape=m.shape)
+
+
+def from_scipy(a) -> CSRMatrix:
+    """Build a :class:`CSRMatrix` from any scipy.sparse matrix."""
+    a = a.tocsr().sorted_indices()
+    a.sum_duplicates()
+    return CSRMatrix(
+        a.shape[0],
+        a.shape[1],
+        a.indptr.astype(INDEX_DTYPE),
+        a.indices.astype(INDEX_DTYPE),
+        a.data.copy(),
+        check=False,
+    )

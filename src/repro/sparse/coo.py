@@ -1,0 +1,149 @@
+"""Coordinate-format (COO) sparse matrix.
+
+COO is the interchange format: Matrix-Market files load into COO, the
+workload generators emit COO, and the compressed formats are built from it.
+Duplicate entries are allowed on construction and are summed when converting
+to a compressed format (matching SciPy / Matrix-Market semantics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import SparseFormatError
+from .types import INDEX_DTYPE, as_index_array, as_value_array
+
+
+@dataclass
+class COOMatrix:
+    """An ``n_rows x n_cols`` sparse matrix in coordinate format.
+
+    Parameters
+    ----------
+    n_rows, n_cols:
+        Matrix dimensions.
+    rows, cols:
+        Entry coordinates, one per stored entry.  May contain duplicates.
+    data:
+        Entry values, same length as ``rows``/``cols``.
+    """
+
+    n_rows: int
+    n_cols: int
+    rows: np.ndarray
+    cols: np.ndarray
+    data: np.ndarray
+    _validated: bool = field(default=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.rows = as_index_array(self.rows)
+        self.cols = as_index_array(self.cols)
+        self.data = as_value_array(self.data, dtype=getattr(self.data, "dtype", None))
+        if not (len(self.rows) == len(self.cols) == len(self.data)):
+            raise SparseFormatError(
+                "rows, cols and data must have equal lengths: "
+                f"{len(self.rows)}, {len(self.cols)}, {len(self.data)}"
+            )
+        if self.n_rows < 0 or self.n_cols < 0:
+            raise SparseFormatError("matrix dimensions must be non-negative")
+        self.validate()
+
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of *stored* entries (duplicates counted separately)."""
+        return int(len(self.data))
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.n_rows, self.n_cols)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    def validate(self) -> None:
+        """Check all coordinates are in range; raise SparseFormatError if not."""
+        if self.nnz == 0:
+            self._validated = True
+            return
+        if self.rows.min() < 0 or self.rows.max() >= self.n_rows:
+            raise SparseFormatError("row index out of range")
+        if self.cols.min() < 0 or self.cols.max() >= self.n_cols:
+            raise SparseFormatError("column index out of range")
+        self._validated = True
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "COOMatrix":
+        """Build a COO matrix from a 2-D dense array (zeros dropped)."""
+        dense = np.asarray(dense)
+        if dense.ndim != 2:
+            raise SparseFormatError("from_dense expects a 2-D array")
+        rows, cols = np.nonzero(dense)
+        return cls(
+            n_rows=dense.shape[0],
+            n_cols=dense.shape[1],
+            rows=rows.astype(INDEX_DTYPE),
+            cols=cols.astype(INDEX_DTYPE),
+            data=dense[rows, cols],
+        )
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize to a dense 2-D array, summing duplicates."""
+        out = np.zeros(self.shape, dtype=self.data.dtype)
+        np.add.at(out, (self.rows, self.cols), self.data)
+        return out
+
+    def sum_duplicates(self) -> "COOMatrix":
+        """Return a new COO with duplicate coordinates summed and sorted
+        in row-major order.  Entries whose sum is exactly zero are kept
+        (explicit zeros are meaningful for symbolic work)."""
+        if self.nnz == 0:
+            return COOMatrix(self.n_rows, self.n_cols, self.rows, self.cols, self.data)
+        # Row-major composite key; n_cols can be 0 only when nnz == 0.
+        key = self.rows * self.n_cols + self.cols
+        order = np.argsort(key, kind="stable")
+        key_sorted = key[order]
+        uniq_mask = np.empty(len(key_sorted), dtype=bool)
+        uniq_mask[0] = True
+        np.not_equal(key_sorted[1:], key_sorted[:-1], out=uniq_mask[1:])
+        group_id = np.cumsum(uniq_mask) - 1
+        n_groups = int(group_id[-1]) + 1
+        summed = np.zeros(n_groups, dtype=self.data.dtype)
+        np.add.at(summed, group_id, self.data[order])
+        first_idx = order[uniq_mask]
+        return COOMatrix(
+            self.n_rows,
+            self.n_cols,
+            self.rows[first_idx],
+            self.cols[first_idx],
+            summed,
+        )
+
+    def transpose(self) -> "COOMatrix":
+        """Return the transpose (swaps row/column coordinates)."""
+        return COOMatrix(self.n_cols, self.n_rows, self.cols, self.rows, self.data)
+
+    def copy(self) -> "COOMatrix":
+        return COOMatrix(
+            self.n_rows,
+            self.n_cols,
+            self.rows.copy(),
+            self.cols.copy(),
+            self.data.copy(),
+        )
+
+    # Conversions are implemented in convert.py to avoid circular imports;
+    # these wrappers provide the ergonomic API.
+    def to_csr(self):
+        from .convert import coo_to_csr
+
+        return coo_to_csr(self)
+
+    def to_csc(self):
+        from .convert import coo_to_csc
+
+        return coo_to_csc(self)

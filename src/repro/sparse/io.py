@@ -1,0 +1,102 @@
+"""Matrix Market (.mtx) reader / writer.
+
+SuiteSparse distributes matrices in Matrix Market coordinate format; the
+paper's inputs (Tables 2 and 4) are all from that collection.  We implement
+the coordinate subset (``matrix coordinate real|integer|pattern
+general|symmetric|skew-symmetric``) from scratch so the library has no I/O
+dependency beyond numpy.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import SparseFormatError
+from .coo import COOMatrix
+from .types import INDEX_DTYPE, VALUE_DTYPE
+
+_HEADER_PREFIX = "%%MatrixMarket"
+_SUPPORTED_FORMATS = {"coordinate"}
+_SUPPORTED_FIELDS = {"real", "integer", "pattern"}
+_SUPPORTED_SYMMETRIES = {"general", "symmetric", "skew-symmetric"}
+
+
+def _open_text(path):
+    path = Path(path)
+    if path.suffix == ".gz":
+        return io.TextIOWrapper(gzip.open(path, "rb"), encoding="ascii")
+    return open(path, "r", encoding="ascii")
+
+
+def read_matrix_market(path) -> COOMatrix:
+    """Read a Matrix Market coordinate file into a :class:`COOMatrix`.
+
+    Symmetric / skew-symmetric storage is expanded to general storage
+    (off-diagonal mirror entries are materialized).
+    """
+    with _open_text(path) as fh:
+        header = fh.readline().strip()
+        if not header.startswith(_HEADER_PREFIX):
+            raise SparseFormatError(f"not a MatrixMarket file: {header!r}")
+        parts = header.split()
+        if len(parts) < 5:
+            raise SparseFormatError(f"malformed header: {header!r}")
+        _, obj, fmt, field, symmetry = (p.lower() for p in parts[:5])
+        if obj != "matrix":
+            raise SparseFormatError(f"unsupported object {obj!r}")
+        if fmt not in _SUPPORTED_FORMATS:
+            raise SparseFormatError(f"unsupported format {fmt!r} (only coordinate)")
+        if field not in _SUPPORTED_FIELDS:
+            raise SparseFormatError(f"unsupported field {field!r}")
+        if symmetry not in _SUPPORTED_SYMMETRIES:
+            raise SparseFormatError(f"unsupported symmetry {symmetry!r}")
+
+        # skip comments
+        line = fh.readline()
+        while line and line.lstrip().startswith("%"):
+            line = fh.readline()
+        dims = line.split()
+        if len(dims) != 3:
+            raise SparseFormatError(f"malformed size line: {line!r}")
+        n_rows, n_cols, nnz = (int(x) for x in dims)
+
+        rows = np.empty(nnz, dtype=INDEX_DTYPE)
+        cols = np.empty(nnz, dtype=INDEX_DTYPE)
+        data = np.ones(nnz, dtype=VALUE_DTYPE)
+        pattern = field == "pattern"
+        for k in range(nnz):
+            entry = fh.readline().split()
+            if len(entry) < (2 if pattern else 3):
+                raise SparseFormatError(f"truncated entry at line {k}")
+            rows[k] = int(entry[0]) - 1  # 1-based on disk
+            cols[k] = int(entry[1]) - 1
+            if not pattern:
+                data[k] = float(entry[2])
+
+    if symmetry in ("symmetric", "skew-symmetric"):
+        off = rows != cols
+        sign = -1.0 if symmetry == "skew-symmetric" else 1.0
+        mirror_rows, mirror_cols = cols[off], rows[off]
+        mirror_data = sign * data[off]
+        rows = np.concatenate([rows, mirror_rows])
+        cols = np.concatenate([cols, mirror_cols])
+        data = np.concatenate([data, mirror_data])
+    return COOMatrix(n_rows, n_cols, rows, cols, data)
+
+
+def write_matrix_market(path, matrix, comment: str | None = None) -> None:
+    """Write a matrix (COO/CSR/CSC) as ``coordinate real general``."""
+    coo = matrix if isinstance(matrix, COOMatrix) else matrix.to_coo()
+    path = Path(path)
+    with open(path, "w", encoding="ascii") as fh:
+        fh.write("%%MatrixMarket matrix coordinate real general\n")
+        if comment:
+            for ln in comment.splitlines():
+                fh.write(f"% {ln}\n")
+        fh.write(f"{coo.n_rows} {coo.n_cols} {coo.nnz}\n")
+        for r, c, v in zip(coo.rows, coo.cols, coo.data):
+            fh.write(f"{int(r) + 1} {int(c) + 1} {float(v):.17g}\n")

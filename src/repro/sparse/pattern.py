@@ -1,0 +1,165 @@
+"""Structural (pattern-only) utilities.
+
+The symbolic phase works on patterns, not values; these helpers compute the
+structural statistics that the paper's matrix tables report (nnz, nnz/n,
+structural symmetry) and split filled patterns into the L and U parts that
+the numeric phase consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .csr import CSRMatrix
+from .csc import CSCMatrix
+from .types import INDEX_DTYPE
+
+
+@dataclass(frozen=True)
+class PatternStats:
+    """Structural statistics of a square sparse matrix (cf. Table 2)."""
+
+    n: int
+    nnz: int
+    nnz_per_row: float
+    structural_symmetry: float  # fraction of entries whose mirror exists
+    bandwidth: int
+    full_diagonal: bool
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.n} nnz={self.nnz} nnz/n={self.nnz_per_row:.1f} "
+            f"sym={self.structural_symmetry:.2f} bw={self.bandwidth} "
+            f"diag={'full' if self.full_diagonal else 'deficient'}"
+        )
+
+
+def pattern_stats(a: CSRMatrix) -> PatternStats:
+    """Compute :class:`PatternStats` for a square CSR matrix."""
+    n = a.n_rows
+    rows = a.row_ids_of_entries()
+    cols = a.indices
+    if a.nnz:
+        bandwidth = int(np.max(np.abs(rows - cols)))
+        fwd = set(zip(rows.tolist(), cols.tolist()))
+        mirrored = sum((c, r) in fwd for r, c in fwd)
+        symmetry = mirrored / len(fwd)
+    else:
+        bandwidth = 0
+        symmetry = 1.0
+    return PatternStats(
+        n=n,
+        nnz=a.nnz,
+        nnz_per_row=a.nnz / max(n, 1),
+        structural_symmetry=symmetry,
+        bandwidth=bandwidth,
+        full_diagonal=a.has_full_diagonal(),
+    )
+
+
+def split_lu_pattern(filled: CSRMatrix) -> tuple[CSCMatrix, CSCMatrix]:
+    """Split a filled pattern ``As`` into unit-lower ``L`` and upper ``U`` CSC.
+
+    ``L`` receives the strictly-lower entries plus an implicit unit diagonal
+    (stored explicitly, value 1); ``U`` receives the diagonal and strictly
+    upper entries.  Values are carried over unchanged — for a pattern-only
+    input they are placeholder values that numeric factorization overwrites.
+    """
+    n = filled.n_rows
+    rows = filled.row_ids_of_entries()
+    cols = filled.indices
+    lower = rows > cols
+    upper = ~lower  # includes diagonal
+
+    from .coo import COOMatrix
+
+    l_rows = np.concatenate([rows[lower], np.arange(n, dtype=INDEX_DTYPE)])
+    l_cols = np.concatenate([cols[lower], np.arange(n, dtype=INDEX_DTYPE)])
+    l_data = np.concatenate(
+        [filled.data[lower], np.ones(n, dtype=filled.data.dtype)]
+    )
+    l = COOMatrix(n, n, l_rows, l_cols, l_data).to_csc()
+    u = COOMatrix(n, n, rows[upper], cols[upper], filled.data[upper]).to_csc()
+    return l, u
+
+
+def lower_pattern_csr(a: CSRMatrix, *, strict: bool = True) -> CSRMatrix:
+    """Pattern of the (strictly) lower-triangular part, CSR."""
+    rows = a.row_ids_of_entries()
+    keep = rows > a.indices if strict else rows >= a.indices
+    return _subset(a, keep)
+
+
+def upper_pattern_csr(a: CSRMatrix, *, strict: bool = True) -> CSRMatrix:
+    """Pattern of the (strictly) upper-triangular part, CSR."""
+    rows = a.row_ids_of_entries()
+    keep = rows < a.indices if strict else rows <= a.indices
+    return _subset(a, keep)
+
+
+def _subset(a: CSRMatrix, keep: np.ndarray) -> CSRMatrix:
+    rows = a.row_ids_of_entries()[keep]
+    counts = np.bincount(rows, minlength=a.n_rows)
+    indptr = np.zeros(a.n_rows + 1, dtype=INDEX_DTYPE)
+    np.cumsum(counts, out=indptr[1:])
+    return CSRMatrix(
+        a.n_rows, a.n_cols, indptr, a.indices[keep], a.data[keep], check=False
+    )
+
+
+def symmetrize_pattern(a: CSRMatrix) -> CSRMatrix:
+    """Pattern of ``A + A^T`` (values summed; used by ordering heuristics)."""
+    from .coo import COOMatrix
+
+    rows = a.row_ids_of_entries()
+    cols = a.indices
+    coo = COOMatrix(
+        a.n_rows,
+        a.n_cols,
+        np.concatenate([rows, cols]),
+        np.concatenate([cols, rows]),
+        np.concatenate([a.data, a.data]),
+    )
+    return coo.to_csr()
+
+
+def ensure_diagonal(a: CSRMatrix, value: float = 0.0) -> CSRMatrix:
+    """Return ``a`` with every diagonal position structurally present.
+
+    Missing diagonal entries are inserted with ``value``.  The paper uses
+    this (with value 1000) to make the Table 4 mesh matrices factorizable.
+    """
+    n = min(a.n_rows, a.n_cols)
+    missing = []
+    for i in range(n):
+        cols, _ = a.row(i)
+        pos = int(np.searchsorted(cols, i))
+        if pos >= len(cols) or cols[pos] != i:
+            missing.append(i)
+    if not missing:
+        return a
+    from .coo import COOMatrix
+
+    miss = np.asarray(missing, dtype=INDEX_DTYPE)
+    rows = np.concatenate([a.row_ids_of_entries(), miss])
+    cols = np.concatenate([a.indices, miss])
+    data = np.concatenate(
+        [a.data, np.full(len(miss), value, dtype=a.data.dtype)]
+    )
+    return COOMatrix(a.n_rows, a.n_cols, rows, cols, data).to_csr()
+
+
+def replace_zero_diagonal(a: CSRMatrix, value: float = 1000.0) -> CSRMatrix:
+    """Replace numerically-zero diagonal entries with ``value`` (paper §4.4).
+
+    Also inserts structurally-missing diagonal entries with ``value``.
+    """
+    out = ensure_diagonal(a, value=value)
+    for i in range(min(out.n_rows, out.n_cols)):
+        cols, vals = out.row(i)
+        pos = int(np.searchsorted(cols, i))
+        if pos < len(cols) and cols[pos] == i and vals[pos] == 0:
+            vals[pos] = value
+    return out

@@ -1,0 +1,38 @@
+"""Shared dtype conventions for the sparse containers.
+
+The paper's experiments use 32-bit ``float`` values (§4.1) and the GPU cost
+model sizes device buffers from ``sizeof(data type)``.  We keep values in
+``float64`` by default for numerical verification against SciPy, but every
+container accepts an explicit ``dtype`` so benchmarks can run the paper's
+``float32`` configuration.  Indices are always ``int64`` — large-matrix
+regimes in Table 4 overflow ``int32`` index arithmetic (``n * nnz/n`` style
+products) long before they overflow memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: dtype used for all index arrays (indptr / indices / permutations).
+INDEX_DTYPE = np.int64
+
+#: default dtype for value arrays.
+VALUE_DTYPE = np.float64
+
+#: the paper's evaluation dtype ("Our experiments use float as the data type").
+PAPER_VALUE_DTYPE = np.float32
+
+
+def as_index_array(x, *, copy: bool = False) -> np.ndarray:
+    """Return ``x`` as a 1-D contiguous ``INDEX_DTYPE`` array."""
+    arr = np.array(x, dtype=INDEX_DTYPE, copy=copy) if copy else np.asarray(
+        x, dtype=INDEX_DTYPE
+    )
+    return np.ascontiguousarray(arr).reshape(-1)
+
+
+def as_value_array(x, dtype=None, *, copy: bool = False) -> np.ndarray:
+    """Return ``x`` as a 1-D contiguous value array of ``dtype``."""
+    dt = VALUE_DTYPE if dtype is None else np.dtype(dtype)
+    arr = np.array(x, dtype=dt, copy=copy) if copy else np.asarray(x, dtype=dt)
+    return np.ascontiguousarray(arr).reshape(-1)

@@ -1,0 +1,46 @@
+"""Symbolic factorization: fill-in structure of ``L + U``.
+
+* :mod:`~repro.symbolic.fill2` — faithful Algorithm 1 (per-row frontier
+  traversal), the executable specification of the GPU kernel.
+* :mod:`~repro.symbolic.reference` — bitset row-merge engine (same fixpoint,
+  C-speed) plus a brute-force Theorem 1 oracle for tests.
+* :mod:`~repro.symbolic.stats` — vectorized traversal-cost and frontier
+  statistics (Figure 3, Algorithm 4's split point).
+"""
+
+from .fill2 import Fill2RowResult, fill2_pattern, fill2_row, fill2_rows
+from .reference import (
+    symbolic_fill_bitsets,
+    symbolic_fill_reference,
+    theorem1_fill_bruteforce,
+)
+from .stats import (
+    FILL2_BLOCK_THREADS,
+    FILL2_SPILL_THREADS,
+    FrontierProfile,
+    chunk_blocks,
+    fill_counts,
+    frontier_counts,
+    frontier_profile,
+    split_point_by_frontier,
+    traversal_edges_per_row,
+)
+
+__all__ = [
+    "Fill2RowResult",
+    "fill2_row",
+    "fill2_rows",
+    "fill2_pattern",
+    "symbolic_fill_bitsets",
+    "symbolic_fill_reference",
+    "theorem1_fill_bruteforce",
+    "FrontierProfile",
+    "chunk_blocks",
+    "FILL2_BLOCK_THREADS",
+    "FILL2_SPILL_THREADS",
+    "fill_counts",
+    "frontier_counts",
+    "frontier_profile",
+    "split_point_by_frontier",
+    "traversal_edges_per_row",
+]

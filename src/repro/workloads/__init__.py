@@ -1,0 +1,40 @@
+"""Workload generators and the paper's matrix registries (Tables 2 and 4)."""
+
+from .generators import (
+    arrow_matrix,
+    circuit_like,
+    dense_random,
+    fem_like,
+    mesh_like,
+    powerlaw_like,
+    tridiagonal,
+)
+from .suite import export_suite, load_manifest
+from .registry import (
+    FIG3_SPECS,
+    MatrixSpec,
+    TABLE2,
+    TABLE4,
+    UNIFIED_SUBSET,
+    by_abbr,
+    unified_memory_specs,
+)
+
+__all__ = [
+    "circuit_like",
+    "fem_like",
+    "mesh_like",
+    "powerlaw_like",
+    "tridiagonal",
+    "arrow_matrix",
+    "dense_random",
+    "MatrixSpec",
+    "TABLE2",
+    "TABLE4",
+    "FIG3_SPECS",
+    "UNIFIED_SUBSET",
+    "by_abbr",
+    "unified_memory_specs",
+    "export_suite",
+    "load_manifest",
+]

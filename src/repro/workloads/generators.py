@@ -1,0 +1,320 @@
+"""Synthetic matrix generators standing in for the SuiteSparse inputs.
+
+The paper's observations are driven by structural class and density
+(``nnz/n``), not by absolute size (see DESIGN.md §2), so each generator
+reproduces a class's signature:
+
+* :func:`circuit_like` — unsymmetric, irregular row degrees with a heavy
+  tail (onetone/rajat/pre2: circuit simulation matrices), low density;
+* :func:`fem_like` — structurally symmetric, banded, dense rows
+  (bmw/crankseg/inline/s3dk: finite-element stiffness matrices);
+* :func:`mesh_like` — 2-D grid adjacency with random edge dropout and
+  *zero diagonals* (hugetrace/delaunay/hugebubbles: the Table 4 meshes that
+  are not LU-factorizable until their diagonals are replaced — §4.4).
+
+All generators are banded so that fill-in stays proportional to
+``n x bandwidth`` (keeping the scaled problems tractable), deterministic
+under ``seed``, and produce diagonally-dominant values (static-pivot
+factorization is exact, matching the paper's no-pivoting numeric phase).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse import COOMatrix, CSRMatrix
+from ..sparse.types import INDEX_DTYPE
+
+
+def _finalize(
+    n: int,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    diag_scale: float = 1.0,
+    zero_diagonal_fraction: float = 0.0,
+) -> CSRMatrix:
+    """Assemble coordinates into a diagonally-dominant CSR matrix."""
+    keep = (rows != cols) & (rows >= 0) & (rows < n) & (cols >= 0) & (cols < n)
+    rows, cols = rows[keep], cols[keep]
+    vals = rng.uniform(-1.0, 1.0, size=len(rows))
+    coo = COOMatrix(n, n, rows, cols, vals)
+    a = coo.to_csr()
+
+    # diagonal = (row |off-diag| sum + 1) * diag_scale -> strictly dominant
+    rowsum = np.zeros(n, dtype=np.float64)
+    np.add.at(rowsum, a.row_ids_of_entries(), np.abs(a.data))
+    diag = (rowsum + 1.0) * diag_scale
+    if zero_diagonal_fraction > 0.0:
+        kill = rng.random(n) < zero_diagonal_fraction
+        diag[kill] = 0.0
+
+    ridx = np.arange(n, dtype=INDEX_DTYPE)
+    all_rows = np.concatenate([a.row_ids_of_entries(), ridx])
+    all_cols = np.concatenate([a.indices, ridx])
+    all_vals = np.concatenate([a.data, diag])
+    return COOMatrix(n, n, all_rows, all_cols, all_vals).to_csr()
+
+
+def _band_offsets(
+    rng: np.random.Generator, count: int, bandwidth: int
+) -> np.ndarray:
+    """Signed offsets within ``[-bandwidth, bandwidth]`` biased toward the
+    diagonal (geometric-ish decay, like discretization stencils)."""
+    mag = np.ceil(
+        bandwidth * rng.random(count) ** 2.2
+    ).astype(INDEX_DTYPE)
+    mag = np.clip(mag, 1, bandwidth)
+    sign = rng.choice(np.array([-1, 1], dtype=INDEX_DTYPE), size=count)
+    return mag * sign
+
+
+def _block_banded_coords(
+    rng: np.random.Generator,
+    n: int,
+    num_blocks: int,
+    per_row_offdiag: np.ndarray,
+    bandwidth: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Coordinates of a block-diagonal matrix of independent banded blocks.
+
+    Independent diagonal blocks are what gives real circuit/FEM matrices
+    their column-level parallelism (KLU's block triangular form exploits
+    exactly this); a single unbroken band would make factorization nearly
+    serial, which misrepresents the paper's workloads.
+    """
+    counts = np.maximum(0, rng.poisson(per_row_offdiag)).astype(INDEX_DTYPE)
+    rows = np.repeat(np.arange(n, dtype=INDEX_DTYPE), counts)
+    offs = _band_offsets(rng, len(rows), bandwidth)
+    cols = rows + offs
+    # confine every entry to its row's diagonal block
+    block = n // max(1, num_blocks)
+    lo = (rows // block) * block
+    hi = np.minimum(lo + block, n) - 1
+    cols = np.clip(cols, lo, hi)
+    # Clipping makes samples collide (duplicates collapse when the matrix is
+    # assembled), so the achieved density would undershoot the target.  Two
+    # top-up rounds resample each row's deficit uniformly over its block.
+    for _ in range(2):
+        key = rows * np.int64(n) + cols
+        uniq_rows = rows[np.unique(key, return_index=True)[1]]
+        achieved = np.bincount(uniq_rows, minlength=n)
+        # cap the per-row target at what the block window can hold
+        cap = np.minimum(counts, block - 1)
+        deficit = np.maximum(0, cap - achieved).astype(INDEX_DTYPE)
+        if deficit.sum() == 0:
+            break
+        extra_rows = np.repeat(np.arange(n, dtype=INDEX_DTYPE), deficit)
+        elo = (extra_rows // block) * block
+        ehi = np.minimum(elo + block, n)
+        extra_cols = elo + (
+            rng.random(len(extra_rows)) * (ehi - elo)
+        ).astype(INDEX_DTYPE)
+        rows = np.concatenate([rows, extra_rows])
+        cols = np.concatenate([cols, extra_cols])
+    return rows, cols
+
+
+def _arrow_tail_coords(
+    rng: np.random.Generator,
+    n: int,
+    tail: int,
+    coupling_entries: int,
+    *,
+    symmetric: bool,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Couplings into the last ``tail`` columns ("global" rails / boundary
+    constraints).  These late dense rows are what produce the paper's
+    Figure 3 frontier spike in the final out-of-core iterations."""
+    if tail <= 0 or coupling_entries <= 0:
+        e = np.empty(0, dtype=INDEX_DTYPE)
+        return e, e
+    src = rng.integers(0, n - tail, size=coupling_entries).astype(INDEX_DTYPE)
+    dst = (n - tail + rng.integers(0, tail, size=coupling_entries)).astype(
+        INDEX_DTYPE
+    )
+    if symmetric:
+        return np.concatenate([src, dst]), np.concatenate([dst, src])
+    # unsymmetric: half the couplings each direction
+    half = coupling_entries // 2
+    rows = np.concatenate([src[:half], dst[half:]])
+    cols = np.concatenate([dst[:half], src[half:]])
+    return rows, cols
+
+
+def circuit_like(
+    n: int,
+    nnz_per_row: float,
+    seed: int = 0,
+    *,
+    bandwidth: int | None = None,
+    num_blocks: int | None = None,
+    tail_fraction: float = 0.02,
+) -> CSRMatrix:
+    """Unsymmetric circuit-simulation-style matrix.
+
+    Many independent sub-circuits (diagonal blocks) with heavy-tailed row
+    degrees, coupled through a small set of global "rail" nodes ordered
+    last (the arrow tail).  The pattern is not symmetric.
+    """
+    rng = np.random.default_rng(seed)
+    if bandwidth is None:
+        bandwidth = int(max(12, 3 * nnz_per_row))
+    if num_blocks is None:
+        # blocks must be wide enough to host the target row degree
+        num_blocks = max(1, min(n // 160, n // int(1.5 * nnz_per_row + 24)))
+    tail = max(3, int(tail_fraction * n))
+    target_offdiag = max(0.0, nnz_per_row - 1.0)
+    coupling = int(0.12 * target_offdiag * n)
+    # heavy-tailed per-row degree: lognormal around the remaining budget
+    per_row = max(0.0, target_offdiag - coupling / n)
+    deg = rng.lognormal(mean=0.0, sigma=0.8, size=n)
+    deg = deg / deg.mean() * per_row
+    rows, cols = _block_banded_coords(rng, n, num_blocks, deg, bandwidth)
+    trows, tcols = _arrow_tail_coords(rng, n, tail, coupling, symmetric=False)
+    return _finalize(
+        n, np.concatenate([rows, trows]), np.concatenate([cols, tcols]), rng
+    )
+
+
+def fem_like(
+    n: int,
+    nnz_per_row: float,
+    seed: int = 0,
+    *,
+    bandwidth: int | None = None,
+    num_blocks: int | None = None,
+    tail_fraction: float = 0.015,
+) -> CSRMatrix:
+    """Structurally-symmetric FEM-style matrix (dense banded rows).
+
+    Independent banded stiffness blocks (mesh components / substructures)
+    plus a small symmetric set of trailing constraint columns.
+    """
+    rng = np.random.default_rng(seed)
+    if bandwidth is None:
+        bandwidth = int(max(12, 1.6 * nnz_per_row))
+    if num_blocks is None:
+        num_blocks = max(1, min(n // 160, n // int(1.5 * nnz_per_row + 24)))
+    tail = max(3, int(tail_fraction * n))
+    target_offdiag = max(0.0, (nnz_per_row - 1.0) / 2.0)  # mirrored below
+    coupling = int(0.05 * target_offdiag * n)
+    per_row = np.full(n, max(0.0, target_offdiag - coupling / n))
+    rows, cols = _block_banded_coords(rng, n, num_blocks, per_row, bandwidth)
+    rows2 = np.concatenate([rows, cols])
+    cols2 = np.concatenate([cols, rows])
+    trows, tcols = _arrow_tail_coords(rng, n, tail, coupling, symmetric=True)
+    return _finalize(
+        n,
+        np.concatenate([rows2, trows]),
+        np.concatenate([cols2, tcols]),
+        rng,
+    )
+
+
+def mesh_like(
+    n: int,
+    seed: int = 0,
+    *,
+    dropout: float = 0.15,
+    components: int = 16,
+    zero_diagonal_fraction: float = 0.3,
+) -> CSRMatrix:
+    """Multi-component 2-D grid mesh with random edge dropout.
+
+    ``components`` independent square grids (the hugebubbles/hugetrace
+    meshes are literally collections of disconnected "bubbles"); ``n`` is
+    rounded down so every component is a perfect grid.  A fraction of
+    diagonal entries is numerically zero — like the Table 4 meshes, the
+    matrix is not factorizable until
+    :func:`repro.sparse.replace_zero_diagonal` is applied (§4.4: "replaced
+    their 0 diagonal elements with ... 1000").
+    """
+    rng = np.random.default_rng(seed)
+    components = max(1, components)
+    side = max(2, int(np.floor(np.sqrt(n / components))))
+    comp_n = side * side
+    n = comp_n * components
+
+    idx = np.arange(comp_n, dtype=INDEX_DTYPE)
+    r, c = idx // side, idx % side
+    right = idx[c < side - 1]
+    down = idx[r < side - 1]
+    src0 = np.concatenate([right, down])
+    dst0 = np.concatenate([right + 1, down + side])
+
+    srcs, dsts = [], []
+    for k in range(components):
+        base = k * comp_n
+        keep = rng.random(len(src0)) >= dropout
+        srcs.append(src0[keep] + base)
+        dsts.append(dst0[keep] + base)
+    src = np.concatenate(srcs)
+    dst = np.concatenate(dsts)
+    rows = np.concatenate([src, dst])
+    cols = np.concatenate([dst, src])
+    return _finalize(
+        n, rows, cols, rng,
+        zero_diagonal_fraction=zero_diagonal_fraction,
+    )
+
+
+def tridiagonal(n: int, seed: int = 0) -> CSRMatrix:
+    """Minimal banded system (no fill under natural ordering) — tests."""
+    rng = np.random.default_rng(seed)
+    i = np.arange(n - 1, dtype=INDEX_DTYPE)
+    rows = np.concatenate([i, i + 1])
+    cols = np.concatenate([i + 1, i])
+    return _finalize(n, rows, cols, rng)
+
+
+def arrow_matrix(n: int, seed: int = 0) -> CSRMatrix:
+    """Arrowhead matrix (dense last row/column) — worst-case fill when
+    ordered badly, zero fill when ordered well; ordering tests."""
+    rng = np.random.default_rng(seed)
+    i = np.arange(n - 1, dtype=INDEX_DTYPE)
+    last = np.full(n - 1, n - 1, dtype=INDEX_DTYPE)
+    rows = np.concatenate([i, last])
+    cols = np.concatenate([last, i])
+    return _finalize(n, rows, cols, rng)
+
+
+def dense_random(n: int, density: float, seed: int = 0) -> CSRMatrix:
+    """Unstructured random sparse matrix (tests and fuzzing)."""
+    rng = np.random.default_rng(seed)
+    mask = rng.random((n, n)) < density
+    rows, cols = np.nonzero(mask)
+    return _finalize(
+        n, rows.astype(INDEX_DTYPE), cols.astype(INDEX_DTYPE), rng
+    )
+
+
+def powerlaw_like(
+    n: int,
+    nnz_per_row: float,
+    seed: int = 0,
+    *,
+    exponent: float = 2.2,
+) -> CSRMatrix:
+    """Scale-free (power-law degree) matrix, GSOFA's web/social class.
+
+    A few hub columns attract most connections (preferential-attachment
+    style sampling); unlike the banded classes, structure is global, so
+    fill can be heavy — pair with a fill-reducing ordering.  Hubs are
+    placed at the *end* of the ordering (standard practice: eliminate
+    high-degree vertices last), which also keeps fill tractable.
+    """
+    rng = np.random.default_rng(seed)
+    target = max(0.0, nnz_per_row - 1.0)
+    m = int(target * n / 2)
+    # hub weights ~ k^(-1/(exponent-1)) over a reversed ranking so that
+    # high-degree hubs sit at the highest indices
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks ** (-1.0 / (exponent - 1.0))
+    weights /= weights.sum()
+    hubs = n - 1 - rng.choice(n, size=m, p=weights)
+    others = rng.integers(0, n, size=m)
+    rows = np.concatenate([others, hubs]).astype(INDEX_DTYPE)
+    cols = np.concatenate([hubs, others]).astype(INDEX_DTYPE)
+    return _finalize(n, rows, cols, rng)

@@ -1,0 +1,43 @@
+"""Shared fixtures: small reference matrices and deterministic RNG."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparse import CSRMatrix
+
+from helpers import coo_from_lists, random_dense  # noqa: F401 (re-export)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+
+
+@pytest.fixture
+def small_dense():
+    return random_dense(25, 0.2, seed=7)
+
+
+@pytest.fixture
+def small_csr(small_dense):
+    return CSRMatrix.from_dense(small_dense)
+
+
+@pytest.fixture
+def paper_example() -> CSRMatrix:
+    """A 10x10 matrix in the spirit of Figure 1: banded with an
+    off-band entry that produces fill (the (9, 5)-style dependency)."""
+    d = np.eye(10) * 10.0
+    links = [
+        (0, 3), (1, 4), (2, 4), (3, 7), (4, 7), (5, 8), (6, 8), (7, 9),
+        (8, 9), (9, 5), (4, 1), (8, 2), (9, 0),
+    ]
+    for i, j in links:
+        d[i, j] = 1.0
+    return CSRMatrix.from_dense(d)
+
+

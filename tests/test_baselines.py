@@ -1,0 +1,155 @@
+"""Baselines: modified GLU 3.0, unified-memory solver, GSOFA count-only."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    glu3_factorize,
+    glu3_symbolic_cpu,
+    gsofa_count_symbolic,
+    unified_symbolic,
+)
+from repro.core import EndToEndLU, SolverConfig
+from repro.gpusim import GPU, scaled_device, scaled_host
+from repro.sparse import residual_norm
+from repro.symbolic import symbolic_fill_reference
+from repro.workloads import circuit_like
+
+
+@pytest.fixture
+def matrix():
+    return circuit_like(200, 8.0, seed=51)
+
+
+def small_config(mem=8 << 20, **kw):
+    return SolverConfig(
+        device=scaled_device(mem), host=scaled_host(8 * mem), **kw
+    )
+
+
+def make_gpu(cfg):
+    return GPU(spec=cfg.device, host=cfg.host, cost=cfg.cost_model)
+
+
+class TestGlu3:
+    def test_produces_correct_solution(self, matrix, rng):
+        res = glu3_factorize(matrix, small_config())
+        b = rng.normal(size=matrix.n_rows)
+        assert residual_norm(matrix, res.solve(b), b) < 1e-10
+
+    def test_same_factors_as_ooc_pipeline(self, matrix):
+        glu = glu3_factorize(matrix, small_config())
+        ooc = EndToEndLU(small_config()).factorize(matrix)
+        assert glu.L.allclose(ooc.L)
+        assert glu.U.allclose(ooc.U)
+
+    def test_label(self, matrix):
+        assert glu3_factorize(matrix, small_config()).label == "glu3.0-modified"
+
+    def test_symbolic_runs_on_cpu(self, matrix):
+        cfg = small_config()
+        gpu = make_gpu(cfg)
+        sym = glu3_symbolic_cpu(gpu, matrix, cfg)
+        # no GPU kernels during CPU symbolic; time booked to cpu_compute
+        assert gpu.ledger.get_count("kernel_launches") == 0
+        assert gpu.ledger.seconds("cpu_compute") > 0
+        # the filled matrix was shipped to the device for numeric
+        assert gpu.ledger.get_count("bytes_h2d") > 0
+        assert sym.device_filled is not None
+        gpu.free(sym.device_filled)
+
+    def test_uses_dense_numeric_format(self, matrix):
+        res = glu3_factorize(matrix, small_config())
+        assert res.numeric.data_format == "dense"
+
+    def test_ooc_pipeline_faster_on_dense_matrix(self):
+        """The Fig. 4 headline on a dense-ish FEM-style matrix."""
+        from repro.workloads import fem_like
+
+        a = fem_like(250, 40.0, seed=52)
+        cfg = small_config(16 << 20)
+        glu = glu3_factorize(a, cfg)
+        ooc = EndToEndLU(cfg).factorize(a)
+        assert ooc.sim_seconds < glu.sim_seconds
+
+
+class TestUnified:
+    def test_structure_matches_reference(self, matrix):
+        cfg = small_config(symbolic_mode="unified")
+        gpu = make_gpu(cfg)
+        sym = unified_symbolic(gpu, matrix, cfg, prefetch=True)
+        assert sym.filled.same_pattern(symbolic_fill_reference(matrix))
+
+    def test_faults_recorded(self, matrix):
+        cfg = small_config(2 << 20)
+        gpu = make_gpu(cfg)
+        unified_symbolic(gpu, matrix, cfg, prefetch=False)
+        assert gpu.ledger.get_count("um_page_faults") > 0
+        assert gpu.ledger.get_count("um_fault_groups") > 0
+        assert gpu.ledger.seconds("fault_service") > 0
+
+    def test_prefetch_reduces_fault_groups(self, matrix):
+        cfg = small_config(2 << 20)
+        g_np, g_p = make_gpu(cfg), make_gpu(cfg)
+        unified_symbolic(g_np, matrix, cfg, prefetch=False)
+        unified_symbolic(g_p, matrix, cfg, prefetch=True)
+        assert (
+            g_p.ledger.get_count("um_fault_groups")
+            < g_np.ledger.get_count("um_fault_groups")
+        )
+
+    def test_prefetch_reduces_symbolic_time(self, matrix):
+        cfg = small_config(2 << 20)
+        g_np, g_p = make_gpu(cfg), make_gpu(cfg)
+        t_np = unified_symbolic(g_np, matrix, cfg, prefetch=False).sim_seconds
+        t_p = unified_symbolic(g_p, matrix, cfg, prefetch=True).sim_seconds
+        assert t_p < t_np
+
+    def test_ooc_faster_than_unified(self, matrix):
+        """Fig. 5/6: explicit out-of-core beats even prefetch-enabled UM."""
+        from repro.core import outofcore_symbolic
+
+        cfg = small_config(2 << 20)
+        g_ooc, g_um = make_gpu(cfg), make_gpu(cfg)
+        t_ooc = outofcore_symbolic(g_ooc, matrix, cfg).sim_seconds
+        t_um = unified_symbolic(g_um, matrix, cfg, prefetch=True).sim_seconds
+        assert t_ooc < t_um
+
+    def test_host_memory_limit_enforced(self, matrix):
+        """§4.3: UM is bounded by host memory (scratch is ~6n^2 bytes)."""
+        from repro.errors import HostMemoryError
+
+        cfg = SolverConfig(
+            device=scaled_device(1 << 20), host=scaled_host(256 << 10)
+        )
+        gpu = make_gpu(cfg)
+        with pytest.raises(HostMemoryError):
+            unified_symbolic(gpu, matrix, cfg, prefetch=True)
+
+
+class TestGsofa:
+    def test_counts_match_reference(self, matrix):
+        cfg = small_config()
+        gpu = make_gpu(cfg)
+        res = gsofa_count_symbolic(gpu, matrix, cfg)
+        expected = symbolic_fill_reference(matrix).row_nnz()
+        np.testing.assert_array_equal(res.fill_count, expected)
+        assert res.total_fill == int(expected.sum())
+
+    def test_single_stage_cheaper_than_two_stage(self, matrix):
+        """GSOFA runs only the counting stage, so it must be cheaper than
+        the full two-stage out-of-core symbolic — the missing positions are
+        exactly why it cannot feed numeric factorization (§3.2)."""
+        from repro.core import outofcore_symbolic
+
+        cfg = small_config(4 << 20)
+        g1, g2 = make_gpu(cfg), make_gpu(cfg)
+        t_gsofa = gsofa_count_symbolic(g1, matrix, cfg).sim_seconds
+        t_full = outofcore_symbolic(g2, matrix, cfg, dynamic=False).sim_seconds
+        assert t_gsofa < t_full
+
+    def test_releases_device_memory(self, matrix):
+        cfg = small_config()
+        gpu = make_gpu(cfg)
+        gsofa_count_symbolic(gpu, matrix, cfg)
+        assert gpu.pool.live_bytes == 0

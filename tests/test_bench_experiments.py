@@ -1,0 +1,128 @@
+"""Experiment harness: reporting helpers and paper-shape assertions.
+
+The heavier per-figure shape checks live in benchmarks/ (run with
+``pytest benchmarks/ --benchmark-only``); here we exercise the harness on a
+reduced scope so the unit suite stays fast while still pinning every
+runner's plumbing and the key paper shapes on representative matrices.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import format_series, format_table, prepare
+from repro.bench.fig3 import run_fig3
+from repro.bench.fig4 import run_fig4
+from repro.bench.fig5 import run_fig5
+from repro.bench.fig6 import run_fig6
+from repro.bench.fig7 import run_fig7
+from repro.bench.table3 import run_table3
+from repro.bench.table4 import run_table4
+from repro.workloads import TABLE4, by_abbr
+
+EXTREMES = (by_abbr("AP"), by_abbr("OT2"), by_abbr("MI"), by_abbr("CR2"))
+UM_PAIR = (by_abbr("OT2"), by_abbr("WI"))
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [("x", 1.5), ("yy", 20.0)],
+                           title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_number_formats(self):
+        out = format_table(["v"], [(0.000001,), (12345.6,), (0,)])
+        assert "e-" in out and "e+" in out
+
+    def test_format_series_sparkline(self):
+        out = format_series("s", range(10), np.linspace(0, 1, 10))
+        assert "s:" in out and "min=0" in out
+        assert any(c in out for c in "▁▂▃▄▅▆▇█")
+
+    def test_format_series_resamples_long_input(self):
+        out = format_series("s", range(500), np.arange(500), width=40)
+        spark = out.splitlines()[1].strip()
+        assert len(spark) == 40
+
+
+class TestFig4Shape:
+    def test_density_extremes(self):
+        res = run_fig4(EXTREMES)
+        by = {r.abbr: r for r in res.rows}
+        # sparsest near parity, densest large (Fig. 4's envelope)
+        assert 0.7 < by["AP"].speedup < 2.5
+        assert by["CR2"].speedup > 15
+        # monotone in density on the extremes
+        s = [by[a].speedup for a in ("AP", "OT2", "MI", "CR2")]
+        assert s == sorted(s)
+
+    def test_symbolic_dominates_glu3(self):
+        res = run_fig4((by_abbr("CR2"),))
+        r = res.rows[0]
+        assert r.glu3_symbolic > 5 * r.glu3_numeric
+
+    def test_normalized_bars(self):
+        res = run_fig4((by_abbr("MI"),))
+        gs, gn, os_, on = res.rows[0].normalized()
+        assert gs + gn == pytest.approx(1.0)
+        assert os_ + on < 1.0  # ooc bar shorter than the baseline bar
+
+
+class TestUnifiedShapes:
+    def test_fig5_ooc_wins(self):
+        res = run_fig5(UM_PAIR)
+        for r in res.rows:
+            assert 1.0 < r.speedup < 2.5
+
+    def test_fig6_ordering_and_density_trend(self):
+        res = run_fig6(UM_PAIR)
+        by = {r.abbr: r for r in res.rows}
+        for r in res.rows:
+            assert r.ooc < r.um_prefetch < r.um_no_prefetch
+        # sparser matrix suffers more from UM (paper: R15/OT2 worst)
+        assert (
+            by["OT2"].speedup_vs_no_prefetch
+            > by["WI"].speedup_vs_no_prefetch
+        )
+
+    def test_table3_shapes(self):
+        res = run_table3(UM_PAIR)
+        for r in res.rows:
+            assert r.fault_groups_prefetch < r.fault_groups_no_prefetch
+            assert r.pct_fault_prefetch < r.pct_fault_no_prefetch
+            assert r.pct_transfer_ooc < 1.0
+            assert 2.0 < r.group_reduction < 7.0
+
+
+class TestFig3Fig7:
+    def test_fig3_tail_spike(self):
+        res = run_fig3()
+        for s in res.series:
+            assert s.tail_is_large()
+
+    def test_fig7_gain_in_paper_band(self):
+        res = run_fig7()
+        for r in res.rows:
+            assert 0.0 < r.improvement <= 0.15
+            assert r.dynamic_iterations < r.naive_iterations
+
+
+class TestTable4:
+    def test_exact_paper_max_blocks(self):
+        res = run_table4(TABLE4[:2])
+        for r in res.rows:
+            assert r.max_blocks == r.paper_max_blocks
+            assert r.under_occupied
+
+
+class TestPrepare:
+    def test_artifacts_consistent(self):
+        art = prepare(by_abbr("OT2"))
+        assert art.abbr == "OT2"
+        assert art.a.n_rows == by_abbr("OT2").n_scaled
+        assert art.device.memory_bytes < art.host.memory_bytes
+        cfg = art.config(numeric_format="csc")
+        assert cfg.numeric_format == "csc"
+        assert cfg.device is art.device

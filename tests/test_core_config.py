@@ -1,0 +1,69 @@
+"""SolverConfig: validation and the §3.4 format rule arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.core import SCRATCH_ARRAYS_PER_ROW, SolverConfig
+from repro.errors import ConfigurationError
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        cfg = SolverConfig()
+        assert cfg.symbolic_mode == "outofcore"
+        assert cfg.dynamic_assignment
+
+    def test_bad_split_fraction(self):
+        with pytest.raises(ConfigurationError):
+            SolverConfig(split_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            SolverConfig(split_fraction=1.5)
+
+    def test_bad_symbolic_mode(self):
+        with pytest.raises(ConfigurationError):
+            SolverConfig(symbolic_mode="magic")
+
+    def test_bad_numeric_format(self):
+        with pytest.raises(ConfigurationError):
+            SolverConfig(numeric_format="coo")
+
+
+class TestFormatRule:
+    def test_dense_parallel_columns_formula(self):
+        """M = L / (n x sizeof(dtype)) — §3.4."""
+        cfg = SolverConfig(value_dtype=np.dtype(np.float32))
+        assert cfg.dense_parallel_columns(1000, 4_000_000) == 1000
+        assert cfg.dense_parallel_columns(1000, 3_999) == 0
+
+    def test_paper_table4_quotients(self):
+        """Reproduce Table 4's max #blocks from the paper's own numbers:
+        free = M x n x 4 must invert back to M."""
+        cfg = SolverConfig()
+        for n, m in ((16_002_413, 124), (16_777_216, 119),
+                     (18_318_143, 109), (19_458_087, 102)):
+            free = m * n * 4
+            assert cfg.dense_parallel_columns(n, free) == m
+            assert cfg.should_use_csc(n, free)  # all below TB_max = 160
+
+    def test_should_use_csc_threshold(self):
+        cfg = SolverConfig()
+        tb = cfg.device.max_concurrent_blocks
+        n = 1000
+        at_threshold = tb * n * cfg.value_bytes
+        assert not cfg.should_use_csc(n, at_threshold)
+        assert cfg.should_use_csc(n, at_threshold - 1)
+
+    def test_invalid_n(self):
+        with pytest.raises(ConfigurationError):
+            SolverConfig().dense_parallel_columns(0, 100)
+
+    def test_scratch_bytes_is_c_times_n(self):
+        """§3.2: c = 6 scratch arrays per in-flight row."""
+        cfg = SolverConfig()
+        assert SCRATCH_ARRAYS_PER_ROW == 6
+        assert cfg.scratch_bytes_per_row(100) == 6 * 100 * cfg.index_bytes
+
+    def test_value_bytes_follow_dtype(self):
+        assert SolverConfig().value_bytes == 4  # paper's float
+        cfg64 = SolverConfig(value_dtype=np.dtype(np.float64))
+        assert cfg64.value_bytes == 8

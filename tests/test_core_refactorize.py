@@ -1,0 +1,80 @@
+"""Reusable analysis + numeric-only refactorization (the circuit workflow)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SolverConfig, analyze
+from repro.errors import SparseFormatError
+from repro.gpusim import scaled_device, scaled_host
+from repro.sparse import CSRMatrix, residual_norm
+from repro.workloads import circuit_like
+
+
+def cfg(mem=8 << 20):
+    return SolverConfig(device=scaled_device(mem), host=scaled_host(8 * mem))
+
+
+@pytest.fixture
+def pattern():
+    return circuit_like(180, 7.0, seed=61)
+
+
+def restamp(pattern: CSRMatrix, seed: int) -> CSRMatrix:
+    """New diagonally-dominant values on the identical pattern."""
+    rng = np.random.default_rng(seed)
+    out = pattern.copy()
+    rows = out.row_ids_of_entries()
+    off = rows != out.indices
+    out.data[off] = rng.uniform(-1, 1, int(off.sum()))
+    rowsum = np.zeros(out.n_rows)
+    np.add.at(rowsum, rows[off], np.abs(out.data[off]))
+    out.data[~off] = rowsum[rows[~off]] + 1.0
+    return out
+
+
+class TestAnalyze:
+    def test_analysis_contents(self, pattern):
+        an = analyze(pattern, cfg())
+        assert an.num_levels > 1
+        assert an.analysis_seconds > 0
+        assert an.same_pattern(pattern)
+        assert an.gpu.pool.live_bytes == 0  # nothing left resident
+
+    def test_refactorize_solves_each_value_set(self, pattern):
+        an = analyze(pattern, cfg())
+        rng = np.random.default_rng(0)
+        for seed in range(3):
+            a = restamp(pattern, seed)
+            res = an.refactorize(a)
+            b = rng.normal(size=a.n_rows)
+            assert residual_norm(a, res.solve(b), b) < 1e-10
+
+    def test_refactorize_matches_full_pipeline(self, pattern):
+        from repro import factorize
+
+        an = analyze(pattern, cfg())
+        a = restamp(pattern, 99)
+        quick = an.refactorize(a)
+        full = factorize(a, cfg())
+        assert quick.L.allclose(full.L)
+        assert quick.U.allclose(full.U)
+
+    def test_refactorize_cheaper_than_analysis(self, pattern):
+        an = analyze(pattern, cfg())
+        res = an.refactorize(restamp(pattern, 1))
+        assert res.sim_seconds < an.analysis_seconds
+
+    def test_rejects_different_pattern(self, pattern):
+        an = analyze(pattern, cfg())
+        other = circuit_like(180, 7.0, seed=62)  # different structure
+        with pytest.raises(SparseFormatError):
+            an.refactorize(other)
+
+    def test_original_values_refactorize_identically(self, pattern):
+        an = analyze(pattern, cfg())
+        res = an.refactorize(pattern)
+        from repro import factorize
+
+        full = factorize(pattern, cfg())
+        assert res.L.allclose(full.L)
+        assert res.U.allclose(full.U)

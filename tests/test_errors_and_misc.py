@@ -1,0 +1,133 @@
+"""Error types, package surface, and miscellaneous invariants."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import (
+    ConfigurationError,
+    CycleError,
+    DeviceMemoryError,
+    HostMemoryError,
+    ReproError,
+    SingularMatrixError,
+    SparseFormatError,
+    StructurallySingularError,
+)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc", [
+        SparseFormatError, DeviceMemoryError, HostMemoryError,
+        SingularMatrixError, StructurallySingularError, CycleError,
+        ConfigurationError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_device_memory_error_fields(self):
+        e = DeviceMemoryError(100, 50, "scratch")
+        assert e.requested == 100
+        assert e.available == 50
+        assert "scratch" in str(e)
+
+    def test_singular_matrix_error_fields(self):
+        e = SingularMatrixError(7, 1e-30)
+        assert e.column == 7
+        assert e.value == pytest.approx(1e-30)
+        assert "7" in str(e)
+
+    def test_cycle_error_fields(self):
+        e = CycleError(3)
+        assert e.remaining == 3
+
+    def test_catching_base_class(self):
+        from repro.sparse import CSRMatrix
+
+        with pytest.raises(ReproError):
+            CSRMatrix(1, 1, [0], [], [])  # bad indptr length
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_exports_resolve(self):
+        import repro.baselines
+        import repro.bench
+        import repro.core
+        import repro.gpusim
+        import repro.graph
+        import repro.numeric
+        import repro.preprocess
+        import repro.sparse
+        import repro.symbolic
+        import repro.workloads
+
+        for mod in (repro.core, repro.gpusim, repro.graph, repro.numeric,
+                    repro.preprocess, repro.sparse, repro.symbolic,
+                    repro.workloads, repro.baselines, repro.bench):
+            for name in getattr(mod, "__all__", []):
+                assert hasattr(mod, name), f"{mod.__name__}.{name}"
+
+    def test_docstrings_on_public_api(self):
+        """Every public callable exported at top level is documented."""
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if callable(obj) and not isinstance(obj, type(repro)):
+                assert obj.__doc__, f"{name} lacks a docstring"
+
+
+class TestFillCache:
+    def test_cache_hit_returns_equal_structure(self):
+        from repro.symbolic import symbolic_fill_reference
+        from repro.symbolic.reference import _FILL_CACHE
+        from repro.workloads import circuit_like
+
+        a = circuit_like(80, 6.0, seed=95)
+        _FILL_CACHE.clear()
+        first = symbolic_fill_reference(a)
+        assert len(_FILL_CACHE) == 1
+        second = symbolic_fill_reference(a.copy())  # same pattern, new obj
+        assert len(_FILL_CACHE) == 1  # hit, not a second entry
+        assert first.same_pattern(second)
+
+    def test_cache_distinguishes_patterns(self):
+        from repro.symbolic import symbolic_fill_reference
+        from repro.symbolic.reference import _FILL_CACHE
+        from repro.workloads import circuit_like
+
+        _FILL_CACHE.clear()
+        symbolic_fill_reference(circuit_like(60, 6.0, seed=1))
+        symbolic_fill_reference(circuit_like(60, 6.0, seed=2))
+        assert len(_FILL_CACHE) == 2
+
+    def test_cache_bounded(self):
+        from repro.symbolic import symbolic_fill_reference
+        from repro.symbolic.reference import _FILL_CACHE, _FILL_CACHE_MAX
+        from repro.workloads import tridiagonal
+
+        _FILL_CACHE.clear()
+        for seed in range(_FILL_CACHE_MAX + 4):
+            symbolic_fill_reference(tridiagonal(20 + seed, seed=seed))
+        assert len(_FILL_CACHE) <= _FILL_CACHE_MAX
+
+    def test_values_not_cached(self):
+        """The cache is pattern-only: new values must flow through."""
+        from repro.symbolic import symbolic_fill_reference
+        from repro.workloads import circuit_like
+
+        a = circuit_like(50, 5.0, seed=96)
+        b = a.copy()
+        b.data[:] = b.data * 2.0
+        fa = symbolic_fill_reference(a)
+        fb = symbolic_fill_reference(b)
+        assert fa.same_pattern(fb)
+        orig_positions = fa.data != 0
+        np.testing.assert_allclose(
+            fb.data[orig_positions], 2.0 * fa.data[orig_positions]
+        )

@@ -1,0 +1,116 @@
+"""Cost model: monotonicity and shape properties of the time formulas."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpusim import CostModel, V100, XEON_E5_2680
+
+CM = CostModel()
+
+
+class TestWarpUtilization:
+    def test_monotone_in_density(self):
+        """The Fig. 4 lever: denser rows -> better utilization."""
+        ds = [1, 4, 10, 30, 60, 120, 200]
+        us = [CM.warp_utilization(d) for d in ds]
+        assert us == sorted(us)
+
+    def test_saturates_at_one(self):
+        assert CM.warp_utilization(1e6) == 1.0
+
+    def test_floor_applied(self):
+        assert CM.warp_utilization(0.0001) == CM.warp_utilization_floor
+        assert CM.warp_utilization(0) == CM.warp_utilization_floor
+        assert CM.warp_utilization(-5) == CM.warp_utilization_floor
+
+    @given(st.floats(0.1, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_bounded(self, d):
+        u = CM.warp_utilization(d)
+        assert CM.warp_utilization_floor <= u <= 1.0
+
+
+class TestBlockOccupancy:
+    def test_caps_at_one(self):
+        assert CM.block_occupancy(10_000, V100) == 1.0
+
+    def test_proportional_below_cap(self):
+        assert CM.block_occupancy(80, V100) == pytest.approx(0.5)
+
+    def test_zero_blocks(self):
+        assert CM.block_occupancy(0, V100) == 0.0
+
+
+class TestTimeFormulas:
+    def test_traversal_monotone_in_edges(self):
+        t1 = CM.gpu_traversal_seconds(1000, 10, 160, V100)
+        t2 = CM.gpu_traversal_seconds(2000, 10, 160, V100)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_traversal_faster_when_denser(self):
+        sparse = CM.gpu_traversal_seconds(1000, 4, 160, V100)
+        dense = CM.gpu_traversal_seconds(1000, 100, 160, V100)
+        assert dense < sparse
+
+    def test_numeric_concurrency_cap_slows(self):
+        """§3.4: the dense-format cap M < TB_max inflates kernel time."""
+        capped = CM.gpu_numeric_seconds(10_000, 1000, 100, V100)
+        full = CM.gpu_numeric_seconds(10_000, 1000, 160, V100)
+        assert capped > full
+        assert capped == pytest.approx(full * 160 / 100)
+
+    def test_numeric_search_steps_add_cost(self):
+        base = CM.gpu_numeric_seconds(10_000, 160, 160, V100)
+        with_search = CM.gpu_numeric_seconds(
+            10_000, 160, 160, V100, search_steps=10_000
+        )
+        assert with_search > base
+
+    def test_transfer_latency_floor(self):
+        assert CM.transfer_seconds(0) == pytest.approx(CM.dma_latency)
+        assert CM.transfer_seconds(CM.pcie_bandwidth) == pytest.approx(
+            CM.dma_latency + 1.0
+        )
+
+    def test_cpu_parallel_uses_all_threads(self):
+        t = CM.cpu_traversal_seconds(10_000, XEON_E5_2680)
+        expected = 10_000 / (
+            CM.cpu_traversal_edges_per_s_per_thread
+            * 28 * CM.cpu_parallel_efficiency
+        )
+        assert t == pytest.approx(expected)
+
+    def test_launch_overheads_ordered(self):
+        """§3.3: device-side (dynamic-parallelism) launches are much
+        cheaper than host launches."""
+        host = CM.launch_seconds(from_device=False)
+        dev = CM.launch_seconds(from_device=True)
+        assert dev < host / 5
+
+    def test_pages_of(self):
+        assert CM.pages_of(0) == 0
+        assert CM.pages_of(1) == 1
+        assert CM.pages_of(CM.um_page_bytes) == 1
+        assert CM.pages_of(CM.um_page_bytes + 1) == 2
+
+
+class TestFig4Mechanism:
+    """End-to-end shape check of the calibrated constants: the symbolic
+    GPU/CPU speedup implied by the model must span roughly the paper's
+    Fig. 4 range across the paper's density spectrum."""
+
+    def _sym_speedup(self, density: float) -> float:
+        edges = 1_000_000
+        cpu = CM.cpu_traversal_seconds(edges, XEON_E5_2680)
+        gpu = 2 * CM.gpu_traversal_seconds(edges, density, 160, V100)
+        return cpu / gpu
+
+    def test_sparsest_near_parity(self):
+        assert 0.5 < self._sym_speedup(3.9) < 3.0
+
+    def test_densest_large_speedup(self):
+        assert 20 < self._sym_speedup(111.3) < 50
+
+    def test_monotone(self):
+        s = [self._sym_speedup(d) for d in (3.9, 9.0, 27.1, 50.7, 111.3)]
+        assert s == sorted(s)

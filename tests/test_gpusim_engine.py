@@ -1,0 +1,95 @@
+"""GPU engine facade: memory + transfers + launch accounting."""
+
+import pytest
+
+from repro.errors import DeviceMemoryError
+from repro.gpusim import GPU, scaled_device
+
+
+@pytest.fixture
+def gpu():
+    return GPU(spec=scaled_device(1024 * 1024))
+
+
+class TestMemory:
+    def test_malloc_free(self, gpu):
+        b = gpu.malloc(1000, "x")
+        assert gpu.free_bytes == 1024 * 1024 - 1000
+        gpu.free(b)
+        assert gpu.free_bytes == 1024 * 1024
+
+    def test_oom(self, gpu):
+        with pytest.raises(DeviceMemoryError):
+            gpu.malloc(2 * 1024 * 1024)
+
+    def test_would_fit(self, gpu):
+        assert gpu.would_fit(1024 * 1024)
+        assert not gpu.would_fit(1024 * 1024 + 1)
+
+
+class TestTransfers:
+    def test_h2d_charges_time_and_counters(self, gpu):
+        gpu.h2d(1_000_000)
+        assert gpu.ledger.total_seconds > 0
+        assert gpu.ledger.get_count("h2d_transfers") == 1
+        assert gpu.ledger.get_count("bytes_h2d") == 1_000_000
+        assert gpu.ledger.seconds("transfer") > 0
+
+    def test_d2h_symmetric(self, gpu):
+        gpu.d2h(500)
+        assert gpu.ledger.get_count("d2h_transfers") == 1
+        assert gpu.ledger.get_count("bytes_d2h") == 500
+
+    def test_transfer_scales_with_bytes(self, gpu):
+        gpu.h2d(1_000_000)
+        t1 = gpu.ledger.total_seconds
+        gpu.h2d(100_000_000)
+        assert gpu.ledger.total_seconds - t1 > t1
+
+
+class TestLaunches:
+    def test_traversal_launch_counts(self, gpu):
+        gpu.launch_traversal(edges=1000, avg_degree=10, blocks=100)
+        assert gpu.ledger.get_count("kernel_launches") == 1
+        assert gpu.ledger.get_count("child_kernel_launches") == 0
+
+    def test_device_launch_counts_as_child(self, gpu):
+        gpu.launch_traversal(
+            edges=1000, avg_degree=10, blocks=100, from_device=True
+        )
+        assert gpu.ledger.get_count("kernel_launches") == 0
+        assert gpu.ledger.get_count("child_kernel_launches") == 1
+
+    def test_device_launch_cheaper(self):
+        host = GPU(spec=scaled_device(1 << 20))
+        dev = GPU(spec=scaled_device(1 << 20))
+        host.launch_utility(1, from_device=False)
+        dev.launch_utility(1, from_device=True)
+        assert dev.ledger.total_seconds < host.ledger.total_seconds
+
+    def test_numeric_launch_respects_cap(self, gpu):
+        t_capped = gpu.launch_numeric(10_000, 1000, concurrency_cap=80)
+        t_full = gpu.launch_numeric(10_000, 1000)
+        assert t_capped > t_full
+
+    def test_derate_slows_kernel(self, gpu):
+        fast = gpu.launch_traversal(edges=10_000, avg_degree=20, blocks=160)
+        slow = gpu.launch_traversal(
+            edges=10_000, avg_degree=20, blocks=160, compute_derate=0.5
+        )
+        assert slow == pytest.approx(2 * fast)
+
+    def test_hbm_traffic(self, gpu):
+        secs = gpu.hbm_traffic(gpu.cost.hbm_bandwidth)  # 1 second of traffic
+        assert secs == pytest.approx(1.0)
+        assert gpu.ledger.get_count("bytes_hbm") == int(gpu.cost.hbm_bandwidth)
+
+
+class TestSnapshot:
+    def test_snapshot_contents(self, gpu):
+        gpu.malloc(123, "x")
+        gpu.launch_utility(10)
+        snap = gpu.snapshot()
+        assert snap["peak_device_bytes"] >= 123
+        assert "scaled" in snap["device"]
+        assert snap["total_seconds"] > 0

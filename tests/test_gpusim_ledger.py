@@ -1,0 +1,94 @@
+"""Time ledger: phase nesting, categories, counters, merging."""
+
+import pytest
+
+from repro.gpusim import TimeLedger
+
+
+class TestCharging:
+    def test_total_accumulates(self):
+        lg = TimeLedger()
+        lg.charge(1.0)
+        lg.charge(2.5)
+        assert lg.total_seconds == pytest.approx(3.5)
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            TimeLedger().charge(-1.0)
+
+    def test_phase_attribution(self):
+        lg = TimeLedger()
+        with lg.phase("symbolic"):
+            lg.charge(1.0)
+        lg.charge(0.5)
+        assert lg.seconds("symbolic") == pytest.approx(1.0)
+        assert lg.total_seconds == pytest.approx(1.5)
+
+    def test_nested_phases_both_charged(self):
+        lg = TimeLedger()
+        with lg.phase("outer"):
+            with lg.phase("inner"):
+                lg.charge(2.0)
+        assert lg.seconds("outer") == pytest.approx(2.0)
+        assert lg.seconds("inner") == pytest.approx(2.0)
+        assert lg.total_seconds == pytest.approx(2.0)
+
+    def test_category_bucket(self):
+        lg = TimeLedger()
+        with lg.phase("symbolic"):
+            lg.charge(1.0, "transfer")
+        assert lg.seconds("transfer") == pytest.approx(1.0)
+        assert lg.seconds("symbolic") == pytest.approx(1.0)
+
+    def test_phase_stack_restored_on_exception(self):
+        lg = TimeLedger()
+        with pytest.raises(RuntimeError):
+            with lg.phase("p"):
+                raise RuntimeError()
+        lg.charge(1.0)
+        assert lg.seconds("p") == 0.0
+
+
+class TestCounters:
+    def test_count_increment(self):
+        lg = TimeLedger()
+        lg.count("launches")
+        lg.count("launches", 3)
+        assert lg.get_count("launches") == 4
+
+    def test_missing_counter_zero(self):
+        assert TimeLedger().get_count("nothing") == 0
+
+
+class TestReporting:
+    def test_fraction(self):
+        lg = TimeLedger()
+        with lg.phase("a"):
+            lg.charge(1.0)
+        lg.charge(3.0)
+        assert lg.fraction("a") == pytest.approx(0.25)
+
+    def test_fraction_empty_ledger(self):
+        assert TimeLedger().fraction("x") == 0.0
+
+    def test_merge(self):
+        a, b = TimeLedger(), TimeLedger()
+        with a.phase("p"):
+            a.charge(1.0)
+        with b.phase("p"):
+            b.charge(2.0)
+        b.count("k", 5)
+        a.merge(b)
+        assert a.total_seconds == pytest.approx(3.0)
+        assert a.seconds("p") == pytest.approx(3.0)
+        assert a.get_count("k") == 5
+
+    def test_snapshot(self):
+        lg = TimeLedger()
+        with lg.phase("p"):
+            lg.charge(1.0)
+        lg.count("c", 2)
+        snap = lg.snapshot()
+        assert snap["total_seconds"] == pytest.approx(1.0)
+        assert snap["phases"]["p"] == pytest.approx(1.0)
+        assert snap["counters"]["c"] == 2

@@ -1,0 +1,90 @@
+"""Device memory pool: allocation, OOM, peak tracking."""
+
+import pytest
+
+from repro.errors import DeviceMemoryError
+from repro.gpusim import DeviceMemoryPool
+
+
+class TestAllocation:
+    def test_alloc_free_cycle(self):
+        pool = DeviceMemoryPool(capacity_bytes=1000)
+        b = pool.malloc(400, "x")
+        assert pool.live_bytes == 400
+        assert pool.free_bytes == 600
+        pool.free(b)
+        assert pool.live_bytes == 0
+
+    def test_oom_raises_with_details(self):
+        pool = DeviceMemoryPool(capacity_bytes=100)
+        pool.malloc(80)
+        with pytest.raises(DeviceMemoryError) as ei:
+            pool.malloc(50, "scratch")
+        assert ei.value.requested == 50
+        assert ei.value.available == 20
+        assert "scratch" in str(ei.value)
+
+    def test_exact_fit_allowed(self):
+        pool = DeviceMemoryPool(capacity_bytes=100)
+        pool.malloc(100)
+        assert pool.free_bytes == 0
+
+    def test_zero_byte_alloc(self):
+        pool = DeviceMemoryPool(capacity_bytes=10)
+        b = pool.malloc(0)
+        assert b.nbytes == 0
+
+    def test_negative_alloc_rejected(self):
+        pool = DeviceMemoryPool(capacity_bytes=10)
+        with pytest.raises(ValueError):
+            pool.malloc(-1)
+
+    def test_double_free_raises(self):
+        pool = DeviceMemoryPool(capacity_bytes=10)
+        b = pool.malloc(5)
+        pool.free(b)
+        with pytest.raises(KeyError):
+            pool.free(b)
+
+
+class TestReservation:
+    def test_reserved_reduces_usable(self):
+        pool = DeviceMemoryPool(capacity_bytes=100, reserved_bytes=30)
+        assert pool.usable_bytes == 70
+        with pytest.raises(DeviceMemoryError):
+            pool.malloc(71)
+
+    def test_reservation_must_fit(self):
+        with pytest.raises(ValueError):
+            DeviceMemoryPool(capacity_bytes=10, reserved_bytes=10)
+
+
+class TestAccounting:
+    def test_peak_tracking(self):
+        pool = DeviceMemoryPool(capacity_bytes=100)
+        a = pool.malloc(40)
+        b = pool.malloc(30)
+        pool.free(a)
+        pool.malloc(10)
+        assert pool.peak_bytes == 70
+
+    def test_would_fit(self):
+        pool = DeviceMemoryPool(capacity_bytes=100)
+        pool.malloc(60)
+        assert pool.would_fit(40)
+        assert not pool.would_fit(41)
+
+    def test_free_all(self):
+        pool = DeviceMemoryPool(capacity_bytes=100)
+        pool.malloc(10)
+        pool.malloc(20)
+        pool.free_all()
+        assert pool.live_bytes == 0
+        assert pool.total_allocs == 2
+
+    def test_live_buffers_listing(self):
+        pool = DeviceMemoryPool(capacity_bytes=100)
+        pool.malloc(10, "a")
+        pool.malloc(20, "b")
+        labels = sorted(b.label for b in pool.live_buffers())
+        assert labels == ["a", "b"]

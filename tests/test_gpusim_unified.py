@@ -1,0 +1,126 @@
+"""Unified-memory pager: faults, grouping, LRU eviction, prefetch."""
+
+import pytest
+
+from repro.errors import HostMemoryError
+from repro.gpusim import GPU, UnifiedMemoryPager, scaled_device, scaled_host
+
+PAGE = None  # set per-fixture from the cost model
+
+
+@pytest.fixture
+def gpu():
+    # device of 16 pages, host of 1024 pages
+    g = GPU(spec=scaled_device(16 * 64 * 1024),
+            host=scaled_host(1024 * 64 * 1024))
+    return g
+
+
+@pytest.fixture
+def pager(gpu):
+    return UnifiedMemoryPager(gpu)
+
+
+class TestAllocation:
+    def test_alloc_region_pages(self, pager):
+        r = pager.alloc(3 * 64 * 1024 + 1, "x")
+        assert r.num_pages == 4
+
+    def test_host_capacity_enforced(self, gpu):
+        p = UnifiedMemoryPager(gpu)
+        with pytest.raises(HostMemoryError):
+            p.alloc(2000 * 64 * 1024)
+
+    def test_oversubscription_beyond_device_ok(self, pager):
+        # 100 pages > 16-page device, < host capacity
+        r = pager.alloc(100 * 64 * 1024)
+        assert r.num_pages == 100
+
+
+class TestFaults:
+    def test_first_touch_faults(self, gpu, pager):
+        r = pager.alloc(4 * 64 * 1024)
+        n = pager.touch(r)
+        assert n == 4
+        assert pager.fault_count == 4
+        assert gpu.ledger.get_count("um_page_faults") == 4
+        assert gpu.ledger.seconds("fault_service") > 0
+
+    def test_resident_retouch_no_fault(self, pager):
+        r = pager.alloc(4 * 64 * 1024)
+        pager.touch(r)
+        assert pager.touch(r) == 0
+
+    def test_fault_groups_batch_contiguous_runs(self, gpu, pager):
+        pages = gpu.cost.um_fault_group_pages
+        r = pager.alloc(4 * pages * 64 * 1024)
+        pager.touch(r)
+        # one contiguous run of 4*group_pages pages -> 4 groups
+        assert pager.fault_group_count == 4
+
+    def test_partial_range_touch(self, pager):
+        r = pager.alloc(10 * 64 * 1024)
+        n = pager.touch(r, offset=0, length=2 * 64 * 1024)
+        assert n == 2
+        n = pager.touch(r, offset=64 * 1024, length=2 * 64 * 1024)
+        assert n == 1  # page 1 resident, page 2 faults
+
+    def test_zero_length_touch(self, pager):
+        r = pager.alloc(64 * 1024)
+        assert pager.touch(r, offset=0, length=0) == 0
+
+
+class TestEviction:
+    def test_lru_eviction_under_pressure(self, pager):
+        # device holds 16 pages; touch 3 x 10-page regions in sequence
+        r1 = pager.alloc(10 * 64 * 1024)
+        r2 = pager.alloc(10 * 64 * 1024)
+        pager.touch(r1)
+        pager.touch(r2)  # evicts part of r1
+        assert pager.evicted_pages > 0
+        # r1 must re-fault now
+        assert pager.touch(r1) > 0
+
+    def test_hot_region_survives(self, pager):
+        hot = pager.alloc(2 * 64 * 1024)
+        cold = pager.alloc(12 * 64 * 1024)
+        pager.touch(hot)
+        for _ in range(3):
+            pager.touch(cold)
+            assert pager.touch(hot) == 0  # hot pages stay resident (LRU)
+
+
+class TestPrefetch:
+    def test_prefetch_disabled_noop(self, pager):
+        r = pager.alloc(4 * 64 * 1024)
+        assert pager.prefetch(r) == 0
+
+    def test_prefetch_prevents_faults(self, gpu):
+        pager = UnifiedMemoryPager(gpu, prefetch_enabled=True)
+        r = pager.alloc(4 * 64 * 1024)
+        moved = pager.prefetch(r)
+        assert moved == 4
+        assert pager.touch(r) == 0
+        assert pager.fault_count == 0
+        assert gpu.ledger.seconds("prefetch") > 0
+
+    def test_prefetch_cheaper_than_faulting(self):
+        g1 = GPU(spec=scaled_device(64 * 64 * 1024))
+        g2 = GPU(spec=scaled_device(64 * 64 * 1024))
+        p_fault = UnifiedMemoryPager(g1)
+        p_pref = UnifiedMemoryPager(g2, prefetch_enabled=True)
+        r1 = p_fault.alloc(32 * 64 * 1024)
+        r2 = p_pref.alloc(32 * 64 * 1024)
+        p_fault.touch(r1)
+        p_pref.prefetch(r2)
+        p_pref.touch(r2)
+        assert g2.ledger.total_seconds < g1.ledger.total_seconds
+
+    def test_stats_dict(self, gpu):
+        pager = UnifiedMemoryPager(gpu, prefetch_enabled=True)
+        r = pager.alloc(2 * 64 * 1024)
+        pager.prefetch(r)
+        st = pager.stats()
+        assert st["prefetched_bytes"] == 2 * 64 * 1024
+        assert st["resident_pages"] == 2
+        assert st["allocated_pages"] == 2

@@ -1,0 +1,157 @@
+"""ILU(0), GMRES, and the float32 compute mode."""
+
+import numpy as np
+import pytest
+
+from repro import SolverConfig, factorize
+from repro.errors import SingularMatrixError
+from repro.gpusim import scaled_device, scaled_host
+from repro.numeric import (
+    GmresResult,
+    gmres,
+    ilu0,
+    ilu0_preconditioner,
+    iterative_refinement,
+    make_lu_solver,
+)
+from repro.sparse import CSRMatrix, residual_norm
+from repro.symbolic import symbolic_fill_reference
+from repro.workloads import circuit_like, tridiagonal
+
+from helpers import random_dense
+
+
+def cfg(mem=8 << 20, **kw):
+    return SolverConfig(device=scaled_device(mem), host=scaled_host(8 * mem),
+                        **kw)
+
+
+class TestIlu0:
+    def test_zero_fill_invariant(self):
+        a = circuit_like(150, 7.0, seed=141)
+        L, U = ilu0(a)
+        # nnz(L) + nnz(U) == nnz(A) + n (L stores the unit diagonal)
+        assert L.nnz + U.nnz == a.nnz + a.n_rows
+
+    def test_exact_when_pattern_has_no_fill(self):
+        t = tridiagonal(40, seed=1)
+        assert symbolic_fill_reference(t).nnz == t.nnz  # no-fill pattern
+        L, U = ilu0(t)
+        np.testing.assert_allclose(
+            L.to_dense() @ U.to_dense(), t.to_dense(), atol=1e-12
+        )
+
+    def test_factors_triangular(self):
+        a = circuit_like(80, 6.0, seed=142)
+        L, U = ilu0(a)
+        ld, ud = L.to_dense(), U.to_dense()
+        assert np.all(np.triu(ld, 1) == 0)
+        np.testing.assert_allclose(np.diag(ld), 1.0)
+        assert np.all(np.tril(ud, -1) == 0)
+
+    def test_product_matches_a_on_pattern(self):
+        """M = L U agrees with A exactly at A's nonzero positions is NOT
+        guaranteed by ILU(0) (only the update-truncation rule is); but for
+        diagonally dominant matrices the mismatch must be small."""
+        a = circuit_like(100, 6.0, seed=143)
+        L, U = ilu0(a)
+        m = L.to_dense() @ U.to_dense()
+        d = a.to_dense()
+        mask = d != 0
+        rel = np.abs(m - d)[mask] / (np.abs(d[mask]) + 1e-30)
+        assert np.median(rel) < 0.2
+
+    def test_missing_diagonal_rejected(self):
+        d = np.zeros((3, 3))
+        d[0, 1] = d[1, 0] = d[1, 2] = d[2, 1] = 1.0
+        with pytest.raises(SingularMatrixError):
+            ilu0(CSRMatrix.from_dense(d))
+
+    def test_zero_pivot_rejected(self):
+        d = np.eye(3)
+        d[1, 1] = 1e-30
+        with pytest.raises(SingularMatrixError):
+            ilu0(CSRMatrix.from_dense(d), pivot_tolerance=1e-20)
+
+    def test_rectangular_rejected(self):
+        with pytest.raises(ValueError):
+            ilu0(CSRMatrix(2, 3, [0, 0, 0], [], []))
+
+
+class TestGmres:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_converges_on_dominant_systems(self, seed):
+        a = circuit_like(200, 6.0, seed=seed + 150)
+        b = np.random.default_rng(seed).normal(size=a.n_rows)
+        res = gmres(a, b, tol=1e-10)
+        assert res.converged
+        assert residual_norm(a, res.x, b) < 1e-9
+
+    def test_matches_scipy(self):
+        import scipy.sparse.linalg as spla
+
+        from repro.sparse import to_scipy_csr
+
+        a = circuit_like(150, 6.0, seed=160)
+        b = np.ones(a.n_rows)
+        ours = gmres(a, b, tol=1e-12)
+        x_ref = spla.spsolve(to_scipy_csr(a).tocsc(), b)
+        np.testing.assert_allclose(ours.x, x_ref, rtol=1e-6, atol=1e-8)
+
+    def test_ilu0_preconditioning_cuts_iterations(self):
+        a = circuit_like(400, 7.0, seed=161)
+        b = np.ones(a.n_rows)
+        plain = gmres(a, b, tol=1e-10)
+        prec = gmres(a, b, preconditioner=ilu0_preconditioner(a), tol=1e-10)
+        assert prec.converged and plain.converged
+        assert prec.iterations < plain.iterations / 2
+
+    def test_exact_lu_preconditioner_one_iteration(self):
+        """With the exact factors as preconditioner, GMRES converges in a
+        single inner iteration — a strong consistency check tying the
+        iterative path to the direct path."""
+        a = circuit_like(120, 6.0, seed=162)
+        res = factorize(a, cfg())
+        M = make_lu_solver(res.L, res.U, row_perm=res.pre.row_perm,
+                           col_perm=res.pre.col_perm)
+        out = gmres(a, np.ones(a.n_rows), preconditioner=M, tol=1e-10)
+        assert out.converged
+        assert out.iterations <= 2
+
+    def test_x0_and_result_shape(self):
+        a = circuit_like(60, 5.0, seed=163)
+        b = np.ones(60)
+        res = gmres(a, b, x0=np.zeros(60), tol=1e-8)
+        assert isinstance(res, GmresResult)
+        assert res.x.shape == (60,)
+        assert res.residual_norms[0] >= res.final_residual
+
+    def test_rhs_mismatch(self):
+        with pytest.raises(ValueError):
+            gmres(CSRMatrix.identity(4), np.ones(5))
+
+    def test_nonconvergence_reported(self):
+        a = circuit_like(200, 6.0, seed=164)
+        res = gmres(a, np.ones(200), tol=1e-14, restart=2, max_outer=1)
+        assert not res.converged
+
+
+class TestFloat32Compute:
+    def test_float32_factors_coarser_but_refinable(self, rng):
+        a = circuit_like(250, 7.0, seed=165)
+        b = rng.normal(size=a.n_rows)
+        r64 = factorize(a, cfg())
+        r32 = factorize(a, cfg(compute_dtype=np.dtype(np.float32)))
+        assert r32.L.data.dtype == np.float32
+        res64 = residual_norm(a, r64.solve(b), b)
+        res32 = residual_norm(a, r32.solve(b), b)
+        assert res64 < 1e-12
+        assert 1e-12 < res32 < 1e-4  # single precision, still accurate-ish
+        # one refinement sweep recovers double-precision accuracy
+        solver = make_lu_solver(
+            r32.L, r32.U,
+            row_perm=r32.pre.row_perm, col_perm=r32.pre.col_perm,
+        )
+        refined = iterative_refinement(a, b, solver, max_iter=4, tol=1e-12)
+        assert refined.final_residual < 1e-12
+        assert refined.iterations <= 2

@@ -1,0 +1,99 @@
+"""Tarjan SCC and block triangular form, cross-checked with networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.preprocess import (
+    block_triangular_form,
+    strongly_connected_components,
+)
+from repro.sparse import CSRMatrix
+
+from helpers import random_dense
+
+
+def digraph_of(a: CSRMatrix) -> nx.DiGraph:
+    g = nx.DiGraph()
+    g.add_nodes_from(range(a.n_rows))
+    for i in range(a.n_rows):
+        g.add_edges_from((i, int(j)) for j in a.row(i)[0])
+    return g
+
+
+class TestSCC:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_networkx(self, seed):
+        d = random_dense(25, 0.08, seed=seed, dominant=False)
+        np.fill_diagonal(d, 0.0)
+        a = CSRMatrix.from_dense(d)
+        ours = {frozenset(c.tolist())
+                for c in strongly_connected_components(a)}
+        theirs = {frozenset(c)
+                  for c in nx.strongly_connected_components(digraph_of(a))}
+        assert ours == theirs
+
+    def test_reverse_topological_emission(self):
+        # 0 -> 1 -> 2 chain of singletons: 2 emitted first
+        d = np.zeros((3, 3))
+        d[0, 1] = d[1, 2] = 1.0
+        comps = strongly_connected_components(CSRMatrix.from_dense(d))
+        assert [c.tolist() for c in comps] == [[2], [1], [0]]
+
+    def test_cycle_is_one_component(self):
+        d = np.zeros((4, 4))
+        for i in range(4):
+            d[i, (i + 1) % 4] = 1.0
+        comps = strongly_connected_components(CSRMatrix.from_dense(d))
+        assert len(comps) == 1
+        assert comps[0].tolist() == [0, 1, 2, 3]
+
+    def test_deep_graph_no_recursion_limit(self):
+        """The iterative Tarjan must survive a 5000-deep chain."""
+        n = 5000
+        rows = np.arange(n - 1)
+        cols = rows + 1
+        from repro.sparse import COOMatrix
+
+        a = COOMatrix(n, n, rows, cols, np.ones(n - 1)).to_csr()
+        comps = strongly_connected_components(a)
+        assert len(comps) == n
+
+
+class TestBTF:
+    def test_lower_block_triangular(self):
+        d = random_dense(30, 0.1, seed=4, dominant=True)
+        res = block_triangular_form(CSRMatrix.from_dense(d))
+        res.validate()  # no entries above the block diagonal
+        assert int(res.block_sizes().sum()) == 30
+
+    def test_permutation_reconstructs_original(self):
+        d = random_dense(20, 0.15, seed=5, dominant=True)
+        res = block_triangular_form(CSRMatrix.from_dense(d))
+        got = res.matrix.to_dense()
+        expected = d[np.asarray(res.row_perm)][:, np.asarray(res.col_perm)]
+        np.testing.assert_allclose(got, expected, atol=1e-12)
+
+    def test_matches_networkx_block_count(self):
+        d = random_dense(25, 0.08, seed=6, dominant=True)
+        a = CSRMatrix.from_dense(d)
+        res = block_triangular_form(a)
+        n_scc = nx.number_strongly_connected_components(digraph_of(a))
+        assert res.num_blocks == n_scc
+
+    def test_matches_diagonal_first(self):
+        """A matrix without a full diagonal gets row-matched before SCC."""
+        d = np.zeros((4, 4))
+        d[0, 1] = d[1, 0] = d[2, 3] = d[3, 2] = 1.0  # anti-diagonal pairs
+        res = block_triangular_form(CSRMatrix.from_dense(d))
+        assert res.matrix.has_full_diagonal()
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError):
+            block_triangular_form(CSRMatrix(2, 3, [0, 0, 0], [], []))
+
+    def test_triangular_input_yields_singletons(self):
+        d = np.tril(random_dense(12, 0.4, seed=7, dominant=True))
+        res = block_triangular_form(CSRMatrix.from_dense(d))
+        assert res.num_blocks == 12
+        assert np.all(res.block_sizes() == 1)

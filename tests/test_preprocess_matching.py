@@ -1,0 +1,79 @@
+"""Bipartite matching and zero-free diagonal permutation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StructurallySingularError
+from repro.preprocess import maximum_matching, zero_free_diagonal_permutation
+from repro.sparse import CSRMatrix, permute
+
+from helpers import random_dense
+
+
+class TestMaximumMatching:
+    def test_identity_matrix(self):
+        m = CSRMatrix.identity(5)
+        np.testing.assert_array_equal(maximum_matching(m), np.arange(5))
+
+    def test_permutation_matrix(self, rng):
+        p = rng.permutation(8)
+        d = np.zeros((8, 8))
+        d[p, np.arange(8)] = 1.0
+        match = maximum_matching(CSRMatrix.from_dense(d))
+        np.testing.assert_array_equal(match, p)
+
+    def test_matching_is_valid(self, rng):
+        for seed in range(5):
+            d = random_dense(15, 0.3, seed=seed, dominant=True)
+            a = CSRMatrix.from_dense(d)
+            match = maximum_matching(a)
+            # distinct rows
+            assert len(np.unique(match)) == a.n_rows
+            # every matched entry structurally nonzero
+            for j, i in enumerate(match):
+                assert d[int(i), j] != 0
+
+    def test_requires_augmenting_paths(self):
+        """A case where greedy assignment fails but augmentation succeeds:
+        col 0 can only use row 0; col 1 can use rows 0 or 1."""
+        d = np.array([[1.0, 1.0], [0.0, 1.0]])
+        match = maximum_matching(CSRMatrix.from_dense(d))
+        np.testing.assert_array_equal(match, [0, 1])
+        d2 = np.array([[1.0, 1.0], [1.0, 0.0]])
+        match2 = maximum_matching(CSRMatrix.from_dense(d2))
+        np.testing.assert_array_equal(match2, [1, 0])
+
+    def test_structurally_singular_raises(self):
+        d = np.zeros((3, 3))
+        d[0, 0] = d[1, 0] = d[2, 0] = 1.0  # only column 0 has entries
+        with pytest.raises(StructurallySingularError):
+            maximum_matching(CSRMatrix.from_dense(d))
+
+    def test_rectangular_rejected(self):
+        m = CSRMatrix(2, 3, [0, 0, 0], [], [])
+        with pytest.raises(ValueError):
+            maximum_matching(m)
+
+
+class TestZeroFreeDiagonal:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_permuted_matrix_has_full_diagonal(self, seed, rng):
+        d = random_dense(12, 0.35, seed=seed, dominant=True)
+        # destroy the diagonal by a random row shuffle
+        shuffled = d[np.random.default_rng(seed).permutation(12)]
+        a = CSRMatrix.from_dense(shuffled)
+        perm = zero_free_diagonal_permutation(a)
+        assert permute(a, row_perm=perm).has_full_diagonal()
+
+    def test_prefers_large_entries(self):
+        """Greedy pass should avoid a numerically-zero diagonal when a
+        swap fixes it."""
+        d = np.array([
+            [0.0, 5.0],
+            [5.0, 4.0],
+        ])
+        # both diagonals structurally present under swap; (0,0) is 0.0
+        a = CSRMatrix.from_dense(np.array([[1e-30, 5.0], [5.0, 4.0]]))
+        perm = zero_free_diagonal_permutation(a, prefer_large=True)
+        out = permute(a, row_perm=perm)
+        assert out.has_full_diagonal()

@@ -1,0 +1,90 @@
+"""Format conversions: COO/CSR/CSC cross-checks against scipy."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse import (
+    COOMatrix,
+    CSRMatrix,
+    csc_to_csr,
+    csr_to_csc,
+    from_scipy,
+    to_scipy_csc,
+    to_scipy_csr,
+)
+
+from helpers import coo_from_lists, random_dense
+
+
+class TestCooCompression:
+    def test_coo_to_csr_sums_duplicates(self):
+        m = coo_from_lists(2, 2, [(0, 0, 1.0), (0, 0, 2.0), (1, 1, 3.0)])
+        csr = m.to_csr()
+        assert csr.nnz == 2
+        assert csr.get(0, 0) == pytest.approx(3.0)
+
+    def test_coo_to_csc_sums_duplicates(self):
+        m = coo_from_lists(2, 2, [(1, 0, 1.0), (1, 0, -4.0)])
+        csc = m.to_csc()
+        assert csc.nnz == 1
+        assert csc.get(1, 0) == pytest.approx(-3.0)
+
+    def test_empty_conversions(self):
+        m = COOMatrix(3, 4, [], [], [])
+        assert m.to_csr().nnz == 0
+        assert m.to_csc().nnz == 0
+        assert m.to_csr().shape == (3, 4)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_scipy(self, seed):
+        d = random_dense(30, 0.15, seed=seed, dominant=False)
+        ours = COOMatrix.from_dense(d).to_csr()
+        theirs = sp.csr_matrix(d)
+        np.testing.assert_array_equal(ours.indptr, theirs.indptr)
+        np.testing.assert_array_equal(ours.indices, theirs.indices)
+        np.testing.assert_allclose(ours.data, theirs.data)
+
+
+class TestCsrCscRoundtrip:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_roundtrip_identity(self, seed):
+        d = random_dense(24, 0.2, seed=seed, dominant=False)
+        csr = CSRMatrix.from_dense(d)
+        back = csc_to_csr(csr_to_csc(csr))
+        assert back.same_pattern(csr)
+        np.testing.assert_allclose(back.data, csr.data)
+
+    def test_csc_matches_dense(self):
+        d = random_dense(18, 0.3, seed=11, dominant=False)
+        csc = csr_to_csc(CSRMatrix.from_dense(d))
+        np.testing.assert_array_equal(csc.to_dense(), d)
+
+    def test_rectangular(self):
+        d = np.zeros((4, 7))
+        d[1, 6] = 3.0
+        d[3, 0] = -2.0
+        csr = CSRMatrix.from_dense(d)
+        csc = csr_to_csc(csr)
+        assert csc.shape == (4, 7)
+        np.testing.assert_array_equal(csc.to_dense(), d)
+
+
+class TestScipyBridge:
+    def test_to_scipy_and_back(self):
+        d = random_dense(16, 0.25, seed=4, dominant=False)
+        ours = CSRMatrix.from_dense(d)
+        sp_m = to_scipy_csr(ours)
+        np.testing.assert_array_equal(sp_m.toarray(), d)
+        back = from_scipy(sp_m)
+        assert back.same_pattern(ours)
+
+    def test_to_scipy_csc(self):
+        d = random_dense(12, 0.3, seed=5, dominant=False)
+        csc = CSRMatrix.from_dense(d).to_csc()
+        np.testing.assert_array_equal(to_scipy_csc(csc).toarray(), d)
+
+    def test_from_scipy_coo_input(self):
+        d = random_dense(10, 0.3, seed=6, dominant=False)
+        back = from_scipy(sp.coo_matrix(d))
+        np.testing.assert_array_equal(back.to_dense(), d)

@@ -1,0 +1,105 @@
+"""COOMatrix: construction, validation, duplicates, round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SparseFormatError
+from repro.sparse import COOMatrix
+
+from helpers import coo_from_lists
+
+
+class TestConstruction:
+    def test_basic(self):
+        m = coo_from_lists(3, 4, [(0, 1, 2.0), (2, 3, -1.0)])
+        assert m.shape == (3, 4)
+        assert m.nnz == 2
+
+    def test_empty(self):
+        m = COOMatrix(5, 5, [], [], [])
+        assert m.nnz == 0
+        assert np.all(m.to_dense() == 0)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(SparseFormatError):
+            COOMatrix(3, 3, [0, 1], [0], [1.0, 2.0])
+
+    def test_row_out_of_range_raises(self):
+        with pytest.raises(SparseFormatError):
+            coo_from_lists(2, 2, [(2, 0, 1.0)])
+
+    def test_col_out_of_range_raises(self):
+        with pytest.raises(SparseFormatError):
+            coo_from_lists(2, 2, [(0, -1, 1.0)])
+
+    def test_negative_dims_raise(self):
+        with pytest.raises(SparseFormatError):
+            COOMatrix(-1, 3, [], [], [])
+
+
+class TestDense:
+    def test_from_dense_roundtrip(self, small_dense):
+        m = COOMatrix.from_dense(small_dense)
+        np.testing.assert_array_equal(m.to_dense(), small_dense)
+
+    def test_from_dense_drops_zeros(self):
+        d = np.array([[0.0, 1.0], [0.0, 0.0]])
+        m = COOMatrix.from_dense(d)
+        assert m.nnz == 1
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(SparseFormatError):
+            COOMatrix.from_dense(np.arange(4.0))
+
+    def test_to_dense_sums_duplicates(self):
+        m = coo_from_lists(2, 2, [(0, 0, 1.0), (0, 0, 2.5)])
+        assert m.to_dense()[0, 0] == pytest.approx(3.5)
+
+
+class TestSumDuplicates:
+    def test_merges_and_sorts(self):
+        m = coo_from_lists(3, 3, [(2, 2, 1.0), (0, 1, 2.0), (2, 2, 3.0),
+                                  (0, 0, 5.0)])
+        s = m.sum_duplicates()
+        assert s.nnz == 3
+        np.testing.assert_array_equal(s.rows, [0, 0, 2])
+        np.testing.assert_array_equal(s.cols, [0, 1, 2])
+        np.testing.assert_allclose(s.data, [5.0, 2.0, 4.0])
+
+    def test_keeps_explicit_zero_sums(self):
+        m = coo_from_lists(2, 2, [(1, 1, 1.0), (1, 1, -1.0)])
+        s = m.sum_duplicates()
+        assert s.nnz == 1
+        assert s.data[0] == 0.0
+
+    def test_empty(self):
+        s = COOMatrix(4, 4, [], [], []).sum_duplicates()
+        assert s.nnz == 0
+
+
+class TestTransposeCopy:
+    def test_transpose(self, small_dense):
+        m = COOMatrix.from_dense(small_dense)
+        np.testing.assert_array_equal(m.transpose().to_dense(), small_dense.T)
+
+    def test_transpose_twice_identity(self, small_dense):
+        m = COOMatrix.from_dense(small_dense)
+        np.testing.assert_array_equal(
+            m.transpose().transpose().to_dense(), small_dense
+        )
+
+    def test_copy_is_deep(self):
+        m = coo_from_lists(2, 2, [(0, 0, 1.0)])
+        c = m.copy()
+        c.data[0] = 99.0
+        assert m.data[0] == 1.0
+
+
+class TestConversionWrappers:
+    def test_to_csr_matches_dense(self, small_dense):
+        m = COOMatrix.from_dense(small_dense)
+        np.testing.assert_array_equal(m.to_csr().to_dense(), small_dense)
+
+    def test_to_csc_matches_dense(self, small_dense):
+        m = COOMatrix.from_dense(small_dense)
+        np.testing.assert_array_equal(m.to_csc().to_dense(), small_dense)

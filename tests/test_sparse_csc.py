@@ -1,0 +1,85 @@
+"""CSCMatrix: column access, binary-search entry lookup, matvec."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import CSCMatrix
+
+from helpers import random_dense
+
+
+class TestAccess:
+    def test_col_views(self, small_dense):
+        m = CSCMatrix.from_dense(small_dense)
+        for j in range(m.n_cols):
+            rows, vals = m.col(j)
+            np.testing.assert_array_equal(
+                rows, np.nonzero(small_dense[:, j])[0]
+            )
+            np.testing.assert_allclose(vals, small_dense[rows, j])
+
+    def test_get(self, small_dense):
+        m = CSCMatrix.from_dense(small_dense)
+        for i in range(m.n_rows):
+            for j in range(m.n_cols):
+                assert m.get(i, j) == pytest.approx(small_dense[i, j])
+
+    def test_to_dense_roundtrip(self, small_dense):
+        m = CSCMatrix.from_dense(small_dense)
+        np.testing.assert_array_equal(m.to_dense(), small_dense)
+
+    def test_col_nnz(self, small_dense):
+        m = CSCMatrix.from_dense(small_dense)
+        np.testing.assert_array_equal(
+            m.col_nnz(), (small_dense != 0).sum(axis=0)
+        )
+
+
+class TestEntryPosition:
+    """Algorithm 6's access primitive: binary search in sorted CSC."""
+
+    def test_found_positions_match_values(self, small_dense):
+        m = CSCMatrix.from_dense(small_dense)
+        for i in range(m.n_rows):
+            for j in range(m.n_cols):
+                pos = m.entry_position(i, j)
+                if small_dense[i, j] != 0:
+                    assert pos >= 0
+                    assert m.indices[pos] == i
+                    assert m.data[pos] == pytest.approx(small_dense[i, j])
+                else:
+                    assert pos == -1
+
+    def test_empty_column(self):
+        d = np.zeros((3, 3))
+        d[0, 0] = 1.0
+        m = CSCMatrix.from_dense(d)
+        assert m.entry_position(1, 2) == -1
+
+
+class TestNumeric:
+    def test_matvec_matches_dense(self, rng):
+        d = random_dense(21, 0.25, seed=9, dominant=False)
+        m = CSCMatrix.from_dense(d)
+        x = rng.normal(size=21)
+        np.testing.assert_allclose(m.matvec(x), d @ x, atol=1e-12)
+
+    def test_matvec_dim_mismatch(self):
+        m = CSCMatrix.identity(4)
+        with pytest.raises(ValueError):
+            m.matvec(np.ones(5))
+
+    def test_diagonal_and_full_diag(self, small_dense):
+        m = CSCMatrix.from_dense(small_dense)
+        np.testing.assert_allclose(m.diagonal(), np.diag(small_dense))
+        assert m.has_full_diagonal()
+
+    def test_transpose(self):
+        d = random_dense(13, 0.3, seed=2, dominant=False)
+        m = CSCMatrix.from_dense(d)
+        np.testing.assert_array_equal(m.transpose().to_dense(), d.T)
+
+    def test_identity(self):
+        np.testing.assert_array_equal(
+            CSCMatrix.identity(6).to_dense(), np.eye(6)
+        )

@@ -1,0 +1,126 @@
+"""CSRMatrix: invariants, access, matvec, transpose, diagonal helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SparseFormatError
+from repro.sparse import CSRMatrix
+
+from helpers import random_dense
+
+
+class TestInvariants:
+    def test_indptr_length_checked(self):
+        with pytest.raises(SparseFormatError):
+            CSRMatrix(2, 2, [0, 1], [0], [1.0])  # indptr too short
+
+    def test_indptr_monotone_checked(self):
+        with pytest.raises(SparseFormatError):
+            CSRMatrix(2, 2, [0, 2, 1], [0, 1], [1.0, 2.0])
+
+    def test_indptr_first_zero_checked(self):
+        with pytest.raises(SparseFormatError):
+            CSRMatrix(2, 2, [1, 1, 2], [0, 1], [1.0, 2.0])
+
+    def test_index_range_checked(self):
+        with pytest.raises(SparseFormatError):
+            CSRMatrix(2, 2, [0, 1, 2], [0, 5], [1.0, 2.0])
+
+    def test_unsorted_indices_rejected(self):
+        with pytest.raises(SparseFormatError):
+            CSRMatrix(1, 3, [0, 2], [2, 0], [1.0, 2.0])
+
+    def test_duplicate_indices_rejected(self):
+        with pytest.raises(SparseFormatError):
+            CSRMatrix(1, 3, [0, 2], [1, 1], [1.0, 2.0])
+
+    def test_sort_flag_repairs_order(self):
+        m = CSRMatrix(1, 3, [0, 2], [2, 0], [1.0, 2.0], sort=True)
+        np.testing.assert_array_equal(m.indices, [0, 2])
+        np.testing.assert_allclose(m.data, [2.0, 1.0])
+
+    def test_boundary_decrease_between_rows_allowed(self):
+        # row 0: col 2; row 1: col 0 — decrease at the row boundary is fine
+        m = CSRMatrix(2, 3, [0, 1, 2], [2, 0], [1.0, 2.0])
+        assert m.nnz == 2
+
+
+class TestAccess:
+    def test_row_views(self, small_dense):
+        m = CSRMatrix.from_dense(small_dense)
+        for i in range(m.n_rows):
+            cols, vals = m.row(i)
+            np.testing.assert_array_equal(cols, np.nonzero(small_dense[i])[0])
+            np.testing.assert_allclose(vals, small_dense[i][cols])
+
+    def test_get(self, small_dense):
+        m = CSRMatrix.from_dense(small_dense)
+        for i in range(m.n_rows):
+            for j in range(m.n_cols):
+                assert m.get(i, j) == pytest.approx(small_dense[i, j])
+
+    def test_row_nnz(self, small_dense):
+        m = CSRMatrix.from_dense(small_dense)
+        np.testing.assert_array_equal(
+            m.row_nnz(), (small_dense != 0).sum(axis=1)
+        )
+
+    def test_nbytes_positive(self, small_csr):
+        assert small_csr.nbytes() > 0
+
+
+class TestNumeric:
+    def test_matvec_matches_dense(self, small_dense, rng):
+        m = CSRMatrix.from_dense(small_dense)
+        x = rng.normal(size=m.n_cols)
+        np.testing.assert_allclose(m.matvec(x), small_dense @ x, atol=1e-12)
+
+    def test_matvec_dim_mismatch(self, small_csr):
+        with pytest.raises(ValueError):
+            small_csr.matvec(np.ones(small_csr.n_cols + 1))
+
+    def test_diagonal(self, small_dense):
+        m = CSRMatrix.from_dense(small_dense)
+        np.testing.assert_allclose(m.diagonal(), np.diag(small_dense))
+
+    def test_has_full_diagonal(self):
+        assert CSRMatrix.from_dense(np.eye(4)).has_full_diagonal()
+        d = np.eye(4)
+        d[2, 2] = 0.0
+        assert not CSRMatrix.from_dense(d).has_full_diagonal()
+
+    def test_identity(self):
+        m = CSRMatrix.identity(5)
+        np.testing.assert_array_equal(m.to_dense(), np.eye(5))
+
+
+class TestTranspose:
+    def test_transpose_matches_dense(self):
+        d = random_dense(17, 0.3, seed=3, dominant=False)
+        m = CSRMatrix.from_dense(d)
+        np.testing.assert_array_equal(m.transpose().to_dense(), d.T)
+
+    def test_rectangular_transpose(self):
+        d = np.zeros((3, 5))
+        d[0, 4] = 1.0
+        d[2, 1] = 2.0
+        m = CSRMatrix.from_dense(d)
+        t = m.transpose()
+        assert t.shape == (5, 3)
+        np.testing.assert_array_equal(t.to_dense(), d.T)
+
+
+class TestComparison:
+    def test_same_pattern_and_allclose(self, small_dense):
+        a = CSRMatrix.from_dense(small_dense)
+        b = CSRMatrix.from_dense(small_dense)
+        assert a.same_pattern(b)
+        assert a.allclose(b)
+        b.data[0] += 1.0
+        assert a.same_pattern(b)
+        assert not a.allclose(b)
+
+    def test_astype(self, small_csr):
+        f32 = small_csr.astype(np.float32)
+        assert f32.dtype == np.float32
+        assert f32.same_pattern(small_csr)

@@ -1,0 +1,128 @@
+"""Matrix Market reader/writer."""
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.errors import SparseFormatError
+from repro.sparse import CSRMatrix, read_matrix_market, write_matrix_market
+
+from helpers import random_dense
+
+
+class TestRoundTrip:
+    def test_write_read_roundtrip(self, tmp_path):
+        d = random_dense(15, 0.3, seed=8, dominant=False)
+        m = CSRMatrix.from_dense(d)
+        path = tmp_path / "m.mtx"
+        write_matrix_market(path, m, comment="round trip\nsecond line")
+        back = read_matrix_market(path).to_csr()
+        assert back.same_pattern(m)
+        np.testing.assert_allclose(back.data, m.data)
+
+    def test_rectangular_roundtrip(self, tmp_path):
+        d = np.zeros((3, 6))
+        d[0, 5] = 1.5
+        d[2, 2] = -0.25
+        path = tmp_path / "r.mtx"
+        write_matrix_market(path, CSRMatrix.from_dense(d))
+        back = read_matrix_market(path)
+        assert back.shape == (3, 6)
+        np.testing.assert_array_equal(back.to_dense(), d)
+
+
+class TestParsing:
+    def _write(self, tmp_path, text, name="t.mtx"):
+        p = tmp_path / name
+        p.write_text(text)
+        return p
+
+    def test_general_real(self, tmp_path):
+        p = self._write(tmp_path, (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n"
+            "2 2 2\n"
+            "1 1 3.5\n"
+            "2 1 -1\n"
+        ))
+        m = read_matrix_market(p)
+        d = m.to_dense()
+        assert d[0, 0] == 3.5 and d[1, 0] == -1.0
+
+    def test_symmetric_expanded(self, tmp_path):
+        p = self._write(tmp_path, (
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "2 2 2\n"
+            "1 1 1.0\n"
+            "2 1 5.0\n"
+        ))
+        d = read_matrix_market(p).to_dense()
+        assert d[0, 1] == 5.0 and d[1, 0] == 5.0
+        assert d[0, 0] == 1.0
+
+    def test_skew_symmetric_sign(self, tmp_path):
+        p = self._write(tmp_path, (
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+            "2 2 1\n"
+            "2 1 4.0\n"
+        ))
+        d = read_matrix_market(p).to_dense()
+        assert d[1, 0] == 4.0 and d[0, 1] == -4.0
+
+    def test_pattern_field(self, tmp_path):
+        p = self._write(tmp_path, (
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 2 1\n"
+            "1 2\n"
+        ))
+        d = read_matrix_market(p).to_dense()
+        assert d[0, 1] == 1.0
+
+    def test_gzip_support(self, tmp_path):
+        p = tmp_path / "z.mtx.gz"
+        with gzip.open(p, "wt") as fh:
+            fh.write(
+                "%%MatrixMarket matrix coordinate real general\n"
+                "1 1 1\n"
+                "1 1 7.0\n"
+            )
+        assert read_matrix_market(p).to_dense()[0, 0] == 7.0
+
+
+class TestErrors:
+    def _write(self, tmp_path, text):
+        p = tmp_path / "bad.mtx"
+        p.write_text(text)
+        return p
+
+    def test_bad_header(self, tmp_path):
+        with pytest.raises(SparseFormatError):
+            read_matrix_market(self._write(tmp_path, "not a header\n"))
+
+    def test_unsupported_format(self, tmp_path):
+        with pytest.raises(SparseFormatError):
+            read_matrix_market(self._write(
+                tmp_path, "%%MatrixMarket matrix array real general\n"
+            ))
+
+    def test_unsupported_field(self, tmp_path):
+        with pytest.raises(SparseFormatError):
+            read_matrix_market(self._write(
+                tmp_path,
+                "%%MatrixMarket matrix coordinate complex general\n",
+            ))
+
+    def test_truncated_entries(self, tmp_path):
+        with pytest.raises(SparseFormatError):
+            read_matrix_market(self._write(
+                tmp_path,
+                "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n",
+            ))
+
+    def test_malformed_size_line(self, tmp_path):
+        with pytest.raises(SparseFormatError):
+            read_matrix_market(self._write(
+                tmp_path,
+                "%%MatrixMarket matrix coordinate real general\n2 2\n",
+            ))

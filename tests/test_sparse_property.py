@@ -1,0 +1,98 @@
+"""Property-based tests (hypothesis) on the sparse containers."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.sparse import COOMatrix, CSRMatrix, invert_permutation, permute
+
+
+@st.composite
+def coo_matrices(draw, max_n=12, max_entries=40):
+    n_rows = draw(st.integers(1, max_n))
+    n_cols = draw(st.integers(1, max_n))
+    k = draw(st.integers(0, max_entries))
+    rows = draw(st.lists(st.integers(0, n_rows - 1), min_size=k, max_size=k))
+    cols = draw(st.lists(st.integers(0, n_cols - 1), min_size=k, max_size=k))
+    vals = draw(st.lists(
+        st.floats(-10, 10, allow_nan=False, allow_infinity=False),
+        min_size=k, max_size=k,
+    ))
+    return COOMatrix(
+        n_rows, n_cols,
+        np.asarray(rows, dtype=np.int64),
+        np.asarray(cols, dtype=np.int64),
+        np.asarray(vals, dtype=np.float64),
+    )
+
+
+@given(coo_matrices())
+@settings(max_examples=80, deadline=None)
+def test_csr_csc_dense_agree(coo):
+    """All three formats materialize to the same dense matrix."""
+    dense = coo.to_dense()
+    np.testing.assert_allclose(coo.to_csr().to_dense(), dense, atol=1e-12)
+    np.testing.assert_allclose(coo.to_csc().to_dense(), dense, atol=1e-12)
+
+
+@given(coo_matrices())
+@settings(max_examples=80, deadline=None)
+def test_csr_to_csc_roundtrip_pattern(coo):
+    csr = coo.to_csr()
+    back = csr.to_csc().to_csr()
+    assert back.same_pattern(csr)
+    np.testing.assert_allclose(back.data, csr.data, atol=1e-12)
+
+
+@given(coo_matrices())
+@settings(max_examples=60, deadline=None)
+def test_transpose_involution(coo):
+    csr = coo.to_csr()
+    twice = csr.transpose().transpose()
+    assert twice.same_pattern(csr)
+    np.testing.assert_allclose(twice.data, csr.data, atol=1e-12)
+
+
+@given(coo_matrices(), st.integers(0, 2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_matvec_matches_dense(coo, seed):
+    csr = coo.to_csr()
+    x = np.random.default_rng(seed).normal(size=csr.n_cols)
+    np.testing.assert_allclose(
+        csr.matvec(x), coo.to_dense() @ x, atol=1e-9
+    )
+    np.testing.assert_allclose(
+        coo.to_csc().matvec(x), coo.to_dense() @ x, atol=1e-9
+    )
+
+
+@given(coo_matrices(max_n=10), st.integers(0, 2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_permutation_inverse_restores(coo, seed):
+    """Applying a permutation then its inverse is the identity."""
+    csr = coo.to_csr()
+    rng = np.random.default_rng(seed)
+    p = rng.permutation(csr.n_rows)
+    q = rng.permutation(csr.n_cols)
+    there = permute(csr, row_perm=p, col_perm=q)
+    back = permute(
+        there, row_perm=invert_permutation(p), col_perm=invert_permutation(q)
+    )
+    assert back.same_pattern(csr)
+    np.testing.assert_allclose(back.data, csr.data, atol=1e-12)
+
+
+@given(coo_matrices())
+@settings(max_examples=60, deadline=None)
+def test_sum_duplicates_preserves_dense(coo):
+    np.testing.assert_allclose(
+        coo.sum_duplicates().to_dense(), coo.to_dense(), atol=1e-12
+    )
+
+
+@given(coo_matrices())
+@settings(max_examples=60, deadline=None)
+def test_nnz_counts_consistent(coo):
+    csr = coo.to_csr()
+    assert csr.nnz == int(csr.row_nnz().sum())
+    assert csr.nnz == len(csr.indices) == len(csr.data)
+    assert csr.nnz <= coo.nnz  # duplicates can only shrink

@@ -1,0 +1,145 @@
+"""Symbolic factorization: fill2 == bitset row-merge == Theorem 1 oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sparse import CSRMatrix
+from repro.symbolic import (
+    fill2_pattern,
+    fill2_row,
+    fill2_rows,
+    symbolic_fill_bitsets,
+    symbolic_fill_reference,
+    theorem1_fill_bruteforce,
+)
+
+from helpers import random_dense
+
+
+def pattern_set(m: CSRMatrix) -> set[tuple[int, int]]:
+    return set(zip(m.row_ids_of_entries().tolist(), m.indices.tolist()))
+
+
+class TestAgainstTheorem1:
+    """Both engines must produce exactly the Theorem 1 fill set."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_bitset_reference_matches_oracle(self, seed):
+        d = random_dense(20, 0.18, seed=seed)
+        a = CSRMatrix.from_dense(d)
+        filled = symbolic_fill_reference(a)
+        assert pattern_set(filled) == theorem1_fill_bruteforce(a)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_fill2_matches_oracle(self, seed):
+        d = random_dense(18, 0.2, seed=seed + 100)
+        a = CSRMatrix.from_dense(d)
+        assert pattern_set(fill2_pattern(a)) == theorem1_fill_bruteforce(a)
+
+    def test_paper_style_example(self, paper_example):
+        filled = symbolic_fill_reference(paper_example)
+        assert pattern_set(filled) == theorem1_fill_bruteforce(paper_example)
+        # fill-ins strictly extend the original pattern
+        assert pattern_set(filled) >= pattern_set(paper_example)
+
+
+class TestEnginesAgree:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_fill2_equals_bitset(self, seed):
+        d = random_dense(35, 0.12, seed=seed + 50)
+        a = CSRMatrix.from_dense(d)
+        assert fill2_pattern(a).same_pattern(symbolic_fill_reference(a))
+
+    @given(st.integers(0, 10_000), st.integers(5, 28),
+           st.floats(0.05, 0.35))
+    @settings(max_examples=40, deadline=None)
+    def test_fill2_equals_bitset_property(self, seed, n, density):
+        d = random_dense(n, density, seed=seed)
+        a = CSRMatrix.from_dense(d)
+        assert fill2_pattern(a).same_pattern(symbolic_fill_reference(a))
+
+
+class TestStructure:
+    def test_fill_superset_of_original(self, small_csr):
+        filled = symbolic_fill_reference(small_csr)
+        assert pattern_set(filled) >= pattern_set(small_csr)
+
+    def test_diagonal_always_present(self):
+        d = np.zeros((4, 4))
+        d[0, 1] = d[1, 0] = d[2, 3] = d[3, 2] = 1.0
+        filled = symbolic_fill_reference(CSRMatrix.from_dense(d))
+        assert filled.has_full_diagonal()
+
+    def test_original_values_carried_fills_zero(self, small_dense):
+        a = CSRMatrix.from_dense(small_dense)
+        filled = symbolic_fill_reference(a)
+        for i in range(a.n_rows):
+            cols, vals = filled.row(i)
+            for c, v in zip(cols.tolist(), vals.tolist()):
+                assert v == pytest.approx(small_dense[i, c])
+
+    def test_triangular_matrix_no_fill(self):
+        d = np.triu(random_dense(15, 0.3, seed=1))
+        a = CSRMatrix.from_dense(d)
+        filled = symbolic_fill_reference(a)
+        assert filled.nnz == a.nnz  # upper-triangular: zero fill
+
+    def test_dense_matrix_no_new_fill(self):
+        d = random_dense(10, 1.0, seed=2)
+        a = CSRMatrix.from_dense(d)
+        assert symbolic_fill_reference(a).nnz == a.nnz
+
+    def test_tridiagonal_no_fill(self):
+        from repro.workloads import tridiagonal
+
+        a = tridiagonal(30, seed=1)
+        assert symbolic_fill_reference(a).nnz == a.nnz
+
+    def test_arrow_matrix_fill_depends_on_orientation(self):
+        """Arrowhead pointing down-right: no fill.  Reversed: dense fill."""
+        from repro.workloads import arrow_matrix
+        from repro.sparse import permute
+
+        a = arrow_matrix(12, seed=1)
+        no_fill = symbolic_fill_reference(a)
+        assert no_fill.nnz == a.nnz
+        rev = np.arange(12)[::-1].copy()
+        b = permute(a, row_perm=rev, col_perm=rev)
+        dense_fill = symbolic_fill_reference(b)
+        assert dense_fill.nnz == 12 * 12  # fully dense
+
+    def test_rejects_rectangular(self):
+        a = CSRMatrix(2, 3, [0, 1, 2], [0, 1], [1.0, 1.0])
+        with pytest.raises(ValueError):
+            symbolic_fill_reference(a)
+
+
+class TestFill2RowApi:
+    def test_row_result_partition(self, small_csr):
+        res = fill2_row(small_csr, 10)
+        assert np.all(res.l_cols < 10)
+        assert np.all(res.u_cols >= 10)
+        assert res.row_nnz == len(res.l_cols) + len(res.u_cols)
+
+    def test_row_zero_has_no_l_part(self, small_csr):
+        res = fill2_row(small_csr, 0)
+        assert len(res.l_cols) == 0
+
+    def test_stats_populated(self, small_csr):
+        res = fill2_row(small_csr, small_csr.n_rows - 1)
+        assert res.edges_scanned > 0
+
+    def test_batch_matches_individual(self, small_csr):
+        batch = fill2_rows(small_csr, np.array([3, 7, 11]))
+        for r in batch:
+            single = fill2_row(small_csr, r.src)
+            np.testing.assert_array_equal(r.l_cols, single.l_cols)
+            np.testing.assert_array_equal(r.u_cols, single.u_cols)
+
+
+class TestBitsetHelpers:
+    def test_bitsets_include_diagonal(self, small_csr):
+        bits = symbolic_fill_bitsets(small_csr)
+        for i, b in enumerate(bits):
+            assert (b >> i) & 1

@@ -1,0 +1,132 @@
+"""Traversal statistics: edge-count model bounds, frontier profiles."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import CSRMatrix
+from repro.symbolic import (
+    chunk_blocks,
+    FILL2_BLOCK_THREADS,
+    FILL2_SPILL_THREADS,
+    fill2_rows,
+    fill_counts,
+    frontier_counts,
+    frontier_profile,
+    split_point_by_frontier,
+    symbolic_fill_reference,
+    traversal_edges_per_row,
+)
+
+from helpers import random_dense
+
+
+class TestEdgeModel:
+    """The vectorized edge model is a per-row lower bound on the faithful
+    fill2 traversal and tracks it proportionally in aggregate (see
+    stats.py for why the exact count exceeds the bound)."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_model_is_lower_bound_and_proportional(self, seed):
+        d = random_dense(30, 0.15, seed=seed)
+        a = CSRMatrix.from_dense(d)
+        filled = symbolic_fill_reference(a)
+        model = traversal_edges_per_row(a, filled)
+        exact = np.array([r.edges_scanned for r in fill2_rows(a)])
+        assert np.all(model <= exact)
+        # aggregate stays within the measured workload-class envelope
+        assert exact.sum() <= 4 * model.sum()
+        # and the per-row shape is strongly informative
+        corr = np.corrcoef(model.astype(float), exact.astype(float))[0, 1]
+        assert corr > 0.5
+
+    def test_row_zero_is_own_degree(self, small_csr):
+        filled = symbolic_fill_reference(small_csr)
+        model = traversal_edges_per_row(small_csr, filled)
+        assert model[0] == small_csr.row_nnz()[0]
+
+
+class TestFrontierCounts:
+    def test_equals_l_row_nnz(self, small_csr):
+        filled = symbolic_fill_reference(small_csr)
+        counts = frontier_counts(filled)
+        rows = filled.row_ids_of_entries()
+        expected = np.bincount(
+            rows[filled.indices < rows], minlength=filled.n_rows
+        )
+        np.testing.assert_array_equal(counts, expected)
+
+    def test_matches_fill2_visits(self, small_csr):
+        """|L(src,:)| equals the number of distinct traversed vertices."""
+        filled = symbolic_fill_reference(small_csr)
+        counts = frontier_counts(filled)
+        for r in fill2_rows(small_csr):
+            assert counts[r.src] == len(r.l_cols)
+
+    def test_fill_counts_are_row_nnz(self, small_csr):
+        filled = symbolic_fill_reference(small_csr)
+        np.testing.assert_array_equal(fill_counts(filled), filled.row_nnz())
+
+
+class TestFrontierProfile:
+    def test_chunking_covers_all_rows(self, small_csr):
+        filled = symbolic_fill_reference(small_csr)
+        prof = frontier_profile(filled, chunk_size=7)
+        assert prof.num_iterations == -(-small_csr.n_rows // 7)
+
+    def test_max_dominates_mean(self, small_csr):
+        filled = symbolic_fill_reference(small_csr)
+        prof = frontier_profile(filled, chunk_size=5)
+        assert np.all(prof.max_frontier >= prof.mean_frontier - 1e-9)
+
+    def test_invalid_chunk_size(self, small_csr):
+        filled = symbolic_fill_reference(small_csr)
+        with pytest.raises(ValueError):
+            frontier_profile(filled, chunk_size=0)
+
+    def test_paper_shape_on_registry_matrix(self):
+        """Fig. 3: the arrow-tailed circuit matrix spikes at the end."""
+        from repro.workloads import circuit_like
+
+        a = circuit_like(400, 8.0, seed=5)
+        filled = symbolic_fill_reference(a)
+        prof = frontier_profile(filled, chunk_size=40)
+        m = prof.max_frontier
+        assert m[-1] >= 2 * max(1, int(m[:-2].mean()))
+
+
+class TestSplitPoint:
+    def test_at_fraction_of_max(self, small_csr):
+        filled = symbolic_fill_reference(small_csr)
+        counts = frontier_counts(filled)
+        n1 = split_point_by_frontier(filled, fraction_of_max=0.5)
+        cutoff = 0.5 * counts.max()
+        assert counts[n1] >= cutoff
+        assert np.all(counts[:n1] < cutoff)
+
+    def test_no_frontier_returns_n(self):
+        from repro.workloads import tridiagonal
+
+        a = tridiagonal(10, seed=1)
+        filled = symbolic_fill_reference(a)
+        # tridiagonal: every row has exactly one intermediate; max == 1, so
+        # the 50% threshold is met immediately at the first row with L nnz
+        n1 = split_point_by_frontier(filled)
+        assert 0 <= n1 <= a.n_rows
+
+    def test_diagonal_matrix_no_split(self):
+        a = CSRMatrix.identity(8)
+        filled = symbolic_fill_reference(a)
+        assert split_point_by_frontier(filled) == 8
+
+
+class TestChunkBlocks:
+    def test_one_block_per_small_row(self):
+        f = np.array([0, 10, FILL2_BLOCK_THREADS])
+        assert chunk_blocks(f) == 3
+
+    def test_spill_blocks_for_large_frontiers(self):
+        f = np.array([FILL2_BLOCK_THREADS + 4 * FILL2_SPILL_THREADS])
+        assert chunk_blocks(f) == 1 + 4
+
+    def test_empty_chunk(self):
+        assert chunk_blocks(np.array([], dtype=np.int64)) == 0

@@ -1,0 +1,167 @@
+"""Workload generators and the Table 2 / Table 4 registries."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import pattern_stats
+from repro.workloads import (
+    FIG3_SPECS,
+    TABLE2,
+    TABLE4,
+    UNIFIED_SUBSET,
+    arrow_matrix,
+    by_abbr,
+    circuit_like,
+    dense_random,
+    fem_like,
+    mesh_like,
+    tridiagonal,
+    unified_memory_specs,
+)
+
+
+class TestGenerators:
+    def test_determinism(self):
+        a = circuit_like(100, 6.0, seed=3)
+        b = circuit_like(100, 6.0, seed=3)
+        assert a.same_pattern(b)
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_different_seeds_differ(self):
+        a = circuit_like(100, 6.0, seed=3)
+        b = circuit_like(100, 6.0, seed=4)
+        assert not (a.same_pattern(b) and np.array_equal(a.data, b.data))
+
+    @pytest.mark.parametrize("density", [4.0, 10.0, 40.0, 90.0])
+    def test_circuit_density_near_target(self, density):
+        a = circuit_like(600, density, seed=1)
+        achieved = a.nnz / a.n_rows
+        assert achieved == pytest.approx(density, rel=0.30)
+
+    @pytest.mark.parametrize("density", [4.0, 20.0, 60.0, 110.0])
+    def test_fem_density_near_target(self, density):
+        a = fem_like(600, density, seed=1)
+        achieved = a.nnz / a.n_rows
+        assert achieved == pytest.approx(density, rel=0.30)
+
+    def test_fem_structurally_symmetric(self):
+        a = fem_like(200, 15.0, seed=2)
+        st = pattern_stats(a)
+        assert st.structural_symmetry > 0.95
+
+    def test_circuit_not_symmetric(self):
+        a = circuit_like(200, 10.0, seed=2)
+        assert pattern_stats(a).structural_symmetry < 0.9
+
+    def test_diagonal_dominance(self):
+        """Generators must produce no-pivot-safe values."""
+        for a in (circuit_like(80, 6.0, 1), fem_like(80, 10.0, 1)):
+            d = a.to_dense()
+            off = np.abs(d).sum(axis=1) - np.abs(np.diag(d))
+            assert np.all(np.abs(np.diag(d)) > off - 1e-9)
+
+    def test_mesh_components_and_zero_diagonals(self):
+        a = mesh_like(1000, seed=3, components=4)
+        diag = a.diagonal()
+        # Table 4 property: some diagonals numerically zero
+        assert np.count_nonzero(diag == 0) > 0
+        # components: n is a multiple of the per-component grid
+        assert a.n_rows % 4 == 0
+
+    def test_mesh_low_density(self):
+        a = mesh_like(1000, seed=3)
+        assert a.nnz / a.n_rows < 6.0
+
+    def test_tridiagonal_bandwidth(self):
+        a = tridiagonal(50, seed=1)
+        assert pattern_stats(a).bandwidth == 1
+
+    def test_arrow_pattern(self):
+        a = arrow_matrix(10, seed=1)
+        d = a.to_dense()
+        assert np.all(d[-1, :] != 0)
+        assert np.all(d[:, -1] != 0)
+
+    def test_dense_random(self):
+        a = dense_random(40, 0.2, seed=1)
+        assert a.has_full_diagonal()
+
+
+class TestRegistry:
+    def test_table2_has_18_matrices(self):
+        """Table 2 lists 18 matrices."""
+        assert len(TABLE2) == 18
+
+    def test_table2_paper_specs(self):
+        """Spot-check the transcribed paper numbers."""
+        pr = by_abbr("PR")
+        assert pr.name == "pre2"
+        assert pr.paper_n == 659033 and pr.paper_nnz == 5959282
+        cr2 = by_abbr("CR2")
+        assert cr2.paper_density == pytest.approx(111.3, abs=0.1)
+        ap = by_abbr("AP")
+        assert ap.paper_density == pytest.approx(3.9, abs=0.1)
+
+    def test_unified_subset_is_7_smallest(self):
+        """§4.3: the 7 matrices with the smallest n, all under 41,000."""
+        assert len(UNIFIED_SUBSET) == 7
+        subset_n = {s.paper_n for s in unified_memory_specs()}
+        assert max(subset_n) < 41_000
+        others = [s.paper_n for s in TABLE2 if s.abbr not in UNIFIED_SUBSET]
+        assert min(others) > max(subset_n)
+
+    def test_table4_paper_max_blocks(self):
+        assert [s.paper_max_blocks for s in TABLE4] == [124, 119, 109, 102]
+
+    def test_fig3_specs(self):
+        assert {s.abbr for s in FIG3_SPECS} == {"PR", "AK"}
+
+    def test_by_abbr_unknown(self):
+        with pytest.raises(KeyError):
+            by_abbr("NOPE")
+
+    def test_scaled_instances_generate(self):
+        spec = by_abbr("OT2")
+        a = spec.generate()
+        assert a.n_rows == spec.n_scaled
+        assert a.nnz / a.n_rows == pytest.approx(
+            spec.paper_density, rel=0.35
+        )
+
+    def test_device_for_symbolic_preserves_table2_property(self):
+        """The defining Table 2 property: all-rows symbolic scratch exceeds
+        the scaled device memory."""
+        spec = by_abbr("OT2")
+        a = spec.generate()
+        from repro.symbolic import symbolic_fill_reference
+
+        filled = symbolic_fill_reference(a)
+        dev = spec.device_for_symbolic(a, filled.nnz)
+        assert dev.memory_bytes < spec.scratch_all_rows_bytes()
+
+    def test_device_for_numeric_reproduces_max_blocks(self):
+        spec = TABLE4[0]
+        a = spec.generate()
+        from repro.symbolic import symbolic_fill_reference
+
+        filled = symbolic_fill_reference(a)
+        dev = spec.device_for_numeric(a, filled.nnz)
+        graph = (a.n_rows + 1) * 4 + a.nnz * 8
+        filled_b = (a.n_rows + 1) * 4 + filled.nnz * 8
+        free = dev.memory_bytes - graph - filled_b
+        assert free // (a.n_rows * 4) == spec.paper_max_blocks
+
+    def test_device_for_numeric_requires_table4(self):
+        spec = by_abbr("OT2")
+        a = spec.generate()
+        with pytest.raises(ValueError):
+            spec.device_for_numeric(a, 1000)
+
+    def test_host_ratio_is_paper_8x(self):
+        spec = by_abbr("OT2")
+        a = spec.generate()
+        from repro.symbolic import symbolic_fill_reference
+
+        dev = spec.device_for_symbolic(a, symbolic_fill_reference(a).nnz)
+        host = spec.host_for(dev)
+        assert host.memory_bytes == 8 * dev.memory_bytes
