@@ -1,0 +1,40 @@
+"""serve-bench — the serving subsystem measured against cold solves.
+
+Not a paper figure: quantifies what the :mod:`repro.serve` layer adds on
+top of the reproduction.  The ample-cache row must beat the cold-solve
+baseline by at least 3x with a request-level hit rate above 0.9; the
+zero-capacity row isolates batching (no analysis reuse across batches).
+"""
+
+import pytest
+
+from repro.bench.serve_bench import run_serve_bench
+
+
+@pytest.mark.serve
+def test_serve_bench_fast_smoke(once):
+    """Quick CI smoke: tiny trace, invariants only."""
+    res = once(run_serve_bench, fast=True)
+    rows = {r.label: r for r in res.rows}
+    assert rows["no cache"].hit_rate == 0.0
+    # 24 requests, first 6-request flush is cold -> 18/24 reuse
+    assert rows["ample cache"].hit_rate >= 0.7
+    assert rows["ample cache"].speedup > rows["no cache"].speedup
+    print()
+    print(res)
+
+
+@pytest.mark.serve
+def test_serve_bench_full_meets_acceptance_bar(once):
+    """The ISSUE acceptance criteria on the default trace."""
+    res = once(run_serve_bench)
+    rows = {r.label: r for r in res.rows}
+    ample = rows["ample cache"]
+    assert ample.hit_rate > 0.9
+    assert ample.speedup >= 3.0
+    # a budget too small for the working set thrashes: no reuse at all
+    assert rows["tight cache"].hit_rate == 0.0
+    # reuse must show up in latency, not just makespan
+    assert ample.p50_ms < rows["no cache"].p50_ms
+    print()
+    print(res)

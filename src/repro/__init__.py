@@ -32,9 +32,13 @@ from .core import (
 from .errors import (
     ConfigurationError,
     CycleError,
+    DeadlineExceededError,
     DeviceMemoryError,
     HostMemoryError,
+    QueueFullError,
     ReproError,
+    ServeError,
+    ServiceShutdownError,
     SingularMatrixError,
     SparseFormatError,
     StructurallySingularError,
@@ -64,5 +68,9 @@ __all__ = [
     "StructurallySingularError",
     "CycleError",
     "ConfigurationError",
+    "ServeError",
+    "QueueFullError",
+    "ServiceShutdownError",
+    "DeadlineExceededError",
     "__version__",
 ]

@@ -13,6 +13,9 @@ Commands
 ``trace``     factorize a .mtx and write a Chrome trace of the simulated
               device timeline (load in chrome://tracing or Perfetto).
 ``export-suite``  write all scaled Table 2/4 instances + manifest to a dir.
+``serve-bench``   replay a repeated-pattern workload through the
+              :mod:`repro.serve` solver service and report cache hit
+              rate, latency percentiles, and speedup vs. cold solves.
 """
 
 from __future__ import annotations
@@ -143,6 +146,39 @@ def cmd_export_suite(args) -> int:
     return 0
 
 
+def cmd_serve_bench(args) -> int:
+    from .serve import (
+        ServeConfig,
+        format_metrics,
+        format_report,
+        run_load,
+        synthesize_trace,
+    )
+
+    trace = synthesize_trace(
+        num_patterns=args.patterns,
+        num_requests=args.requests,
+        n=args.n,
+        nnz_per_row=args.density,
+        seed=args.seed,
+    )
+    cfg = ServeConfig(
+        solver=_config(args),
+        num_devices=args.devices,
+        cache_capacity_bytes=(
+            0 if args.no_cache else int(args.cache_mb * 2**20)
+        ),
+        max_queue_depth=args.queue_depth,
+    )
+    report = run_load(trace, cfg, flush_every=args.flush_every)
+    print(f"trace: {args.patterns} patterns x "
+          f"{args.requests} requests (n={args.n})")
+    print(format_report(report))
+    if args.stats:
+        print(format_metrics(report.stats))
+    return 0
+
+
 def cmd_bench(args) -> int:
     if args.experiment == "all":
         from .bench.experiments import main as exp_main
@@ -211,9 +247,38 @@ def build_parser() -> argparse.ArgumentParser:
     sp = sub.add_parser("bench", help="run a paper experiment")
     sp.add_argument("experiment",
                     choices=["fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-                             "table3", "table4", "all"])
+                             "table3", "table4", "serve_bench", "all"])
     sp.add_argument("--fast", action="store_true")
     sp.set_defaults(fn=cmd_bench)
+
+    sp = sub.add_parser(
+        "serve-bench",
+        help="replay a repeated-pattern workload through the solver "
+             "service (repro.serve) and report reuse speedup",
+    )
+    sp.add_argument("--patterns", type=int, default=3,
+                    help="distinct sparsity patterns in the trace")
+    sp.add_argument("--requests", type=int, default=72,
+                    help="total solve requests")
+    sp.add_argument("--n", type=int, default=200,
+                    help="unknowns per matrix")
+    sp.add_argument("--density", type=float, default=7.0,
+                    help="nonzeros per row of the generated patterns")
+    sp.add_argument("--devices", type=int, default=1,
+                    help="simulated GPUs in the dispatch pool")
+    sp.add_argument("--cache-mb", type=float, default=64.0,
+                    help="analysis-cache byte budget in MiB")
+    sp.add_argument("--no-cache", action="store_true",
+                    help="disable the analysis cache (cold service)")
+    sp.add_argument("--queue-depth", type=int, default=64,
+                    help="bounded-queue capacity (backpressure limit)")
+    sp.add_argument("--flush-every", type=int, default=6,
+                    help="dispatch a batch every this many submits")
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--stats", action="store_true",
+                    help="also print full service metrics")
+    add_device(sp)
+    sp.set_defaults(fn=cmd_serve_bench)
     return p
 
 

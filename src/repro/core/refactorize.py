@@ -101,6 +101,42 @@ class ReusableAnalysis:
     def num_levels(self) -> int:
         return self.schedule.num_levels
 
+    @property
+    def nbytes(self) -> int:
+        """Approximate host bytes retained by this analysis.
+
+        Sums every ndarray the analysis keeps alive (pre-processed matrix,
+        transforms, filled pattern, dependency graph, level schedule,
+        scatter map, pattern snapshot).  The serving cache
+        (:mod:`repro.serve.cache`) uses this for its byte-budget
+        accounting, so the figure only needs to be proportional to the
+        true footprint, not exact.
+        """
+        arrays: list[np.ndarray] = [
+            self.pre.matrix.indptr,
+            self.pre.matrix.indices,
+            self.pre.matrix.data,
+            self.pre.row_perm,
+            self.pre.col_perm,
+            self.filled.indptr,
+            self.filled.indices,
+            self.filled.data,
+            self.graph.indptr,
+            self.graph.targets,
+            self.graph.in_degree,
+            self.schedule.level_of,
+            self._pattern_indptr,
+            self._pattern_indices,
+            self._scatter,
+        ]
+        if self.pre.row_scale is not None:
+            arrays.append(self.pre.row_scale)
+        if self.pre.col_scale is not None:
+            arrays.append(self.pre.col_scale)
+        total = sum(int(arr.nbytes) for arr in arrays)
+        total += sum(int(lv.nbytes) for lv in self.schedule.levels)
+        return total
+
     def same_pattern(self, a: CSRMatrix) -> bool:
         return (
             a.shape == self.pre.matrix.shape

@@ -68,3 +68,40 @@ class CycleError(ReproError):
 
 class ConfigurationError(ReproError):
     """An invalid solver / simulator configuration was supplied."""
+
+
+class ServeError(ReproError):
+    """Base class for solver-service (``repro.serve``) runtime errors."""
+
+
+class QueueFullError(ServeError):
+    """The service request queue is at capacity (backpressure signal).
+
+    Callers should drain (``flush``) or retry later; the request that
+    triggered this error was **not** enqueued.
+    """
+
+    def __init__(self, depth: int, capacity: int) -> None:
+        self.depth = int(depth)
+        self.capacity = int(capacity)
+        super().__init__(
+            f"request queue full: {depth}/{capacity} pending — "
+            "flush() or retry later"
+        )
+
+
+class ServiceShutdownError(ServeError):
+    """An operation was attempted on a solver service after shutdown."""
+
+
+class DeadlineExceededError(ServeError):
+    """A solve's simulated completion time passed its deadline."""
+
+    def __init__(self, request_id: int, deadline: float, finish: float) -> None:
+        self.request_id = int(request_id)
+        self.deadline = float(deadline)
+        self.finish = float(finish)
+        super().__init__(
+            f"request {request_id} missed deadline "
+            f"{deadline:.6f}s (finished {finish:.6f}s)"
+        )

@@ -1,0 +1,166 @@
+"""Pattern-keyed LRU cache of :class:`~repro.core.ReusableAnalysis` objects.
+
+The serving workload (circuit simulation, §1 of the paper) factorizes the
+*same sparsity pattern* thousands of times with changing values.  The
+pattern-dependent phases — preprocessing, symbolic factorization,
+levelization — dominate end-to-end cost (10-20x the numeric-only pass on
+the simulated V100), so the service caches one analysis per distinct
+pattern and replays only numeric refactorization for repeat patterns.
+
+Keys are a stable cryptographic hash of ``(n_rows, n_cols, indptr,
+indices)`` — see :func:`pattern_key` — so structurally identical matrices
+with different values map to the same entry regardless of identity or
+dtype width.  Capacity is accounted in *bytes* of retained analysis state
+(:attr:`ReusableAnalysis.nbytes`), not entry counts, because analyses for
+large patterns can be many megabytes while small ones are a few KiB.
+Eviction is strict LRU over that byte budget.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+
+import numpy as np
+
+from ..core.refactorize import ReusableAnalysis
+from ..sparse import CSRMatrix
+
+__all__ = ["AnalysisCache", "pattern_key", "values_key"]
+
+
+def pattern_key(a: CSRMatrix) -> str:
+    """Stable hex digest identifying the sparsity pattern of ``a``.
+
+    Hashes the shape plus ``indptr``/``indices`` contents (canonicalized
+    to little-endian int64 so the key is independent of the index dtype
+    the matrix happens to carry).  Values are deliberately excluded.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(np.int64(a.n_rows).tobytes())
+    h.update(np.int64(a.n_cols).tobytes())
+    h.update(np.ascontiguousarray(a.indptr, dtype="<i8").tobytes())
+    h.update(np.ascontiguousarray(a.indices, dtype="<i8").tobytes())
+    return h.hexdigest()
+
+
+def values_key(a: CSRMatrix) -> str:
+    """Hex digest of the *values* of ``a`` (used to coalesce duplicate
+    numeric refactorizations inside one batch)."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(np.ascontiguousarray(a.data, dtype="<f8").tobytes())
+    return h.hexdigest()
+
+
+class AnalysisCache:
+    """Byte-budgeted LRU map ``pattern key -> ReusableAnalysis``.
+
+    ``capacity_bytes`` bounds the summed :attr:`ReusableAnalysis.nbytes`
+    of resident entries.  Inserting past the budget evicts
+    least-recently-used entries until the new entry fits; an entry larger
+    than the whole budget is refused (counted as ``uncacheable``) rather
+    than thrashing the cache.  A capacity of ``0`` therefore disables
+    caching entirely — every lookup misses — which the benchmarks use as
+    the cold baseline.
+    """
+
+    def __init__(self, capacity_bytes: int = 256 << 20) -> None:
+        if capacity_bytes < 0:
+            raise ValueError("capacity_bytes must be >= 0")
+        self.capacity_bytes = int(capacity_bytes)
+        self._entries: "OrderedDict[str, ReusableAnalysis]" = OrderedDict()
+        self._sizes: dict[str, int] = {}
+        self.current_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.insertions = 0
+        self.uncacheable = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def keys(self) -> list[str]:
+        """Resident keys, least- to most-recently used."""
+        return list(self._entries)
+
+    def get(self, key: str) -> ReusableAnalysis | None:
+        """Look up ``key``; counts a hit/miss and refreshes recency."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def peek(self, key: str) -> ReusableAnalysis | None:
+        """Look up without touching recency or hit/miss counters."""
+        return self._entries.get(key)
+
+    def put(self, key: str, analysis: ReusableAnalysis) -> list[str]:
+        """Insert (or replace) ``key`` and return the keys evicted for it."""
+        size = int(analysis.nbytes)
+        if size > self.capacity_bytes:
+            self.uncacheable += 1
+            # replacing an entry with an uncacheable analysis drops it
+            self._remove(key)
+            return []
+        self._remove(key)
+        evicted: list[str] = []
+        while self.current_bytes + size > self.capacity_bytes and self._entries:
+            old_key, _ = self._entries.popitem(last=False)
+            self.current_bytes -= self._sizes.pop(old_key)
+            self.evictions += 1
+            evicted.append(old_key)
+        self._entries[key] = analysis
+        self._sizes[key] = size
+        self.current_bytes += size
+        self.insertions += 1
+        return evicted
+
+    def invalidate(self, key: str) -> bool:
+        """Drop ``key`` if resident (the retry-on-eviction path uses this
+        to purge an analysis that failed pattern validation)."""
+        if self._remove(key):
+            self.invalidations += 1
+            return True
+        return False
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._sizes.clear()
+        self.current_bytes = 0
+
+    def _remove(self, key: str) -> bool:
+        if key in self._entries:
+            del self._entries[key]
+            self.current_bytes -= self._sizes.pop(key)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """Plain-dict counters for reports / :meth:`SolverService.stats`."""
+        return {
+            "entries": len(self._entries),
+            "current_bytes": self.current_bytes,
+            "capacity_bytes": self.capacity_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "evictions": self.evictions,
+            "insertions": self.insertions,
+            "invalidations": self.invalidations,
+            "uncacheable": self.uncacheable,
+        }

@@ -1,0 +1,146 @@
+"""Service metrics: counters + latency histograms with percentile readout.
+
+Everything is plain-Python and export-friendly: :meth:`ServiceMetrics.
+snapshot` returns nested dicts of floats/ints (JSON-serializable), and
+:func:`format_metrics` pretty-prints a snapshot for the CLI.  Histograms
+keep raw observations (the serving simulations record at most a few
+thousand samples) so percentiles are exact rather than bucketed.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+__all__ = ["Histogram", "ServiceMetrics", "format_metrics"]
+
+
+class Histogram:
+    """Exact-sample histogram with percentile queries (p50/p99)."""
+
+    def __init__(self) -> None:
+        self._samples: list[float] = []
+
+    def record(self, value: float) -> None:
+        self._samples.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self._samples)) if self._samples else 0.0
+
+    @property
+    def max(self) -> float:
+        return float(np.max(self._samples)) if self._samples else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Exact ``q``-th percentile (0..100) of the recorded samples."""
+        if not self._samples:
+            return 0.0
+        return float(np.percentile(self._samples, q))
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p99": self.p99,
+            "max": self.max,
+        }
+
+
+class ServiceMetrics:
+    """Counters, gauges, and histograms for one service instance."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = defaultdict(int)
+        self.histograms: dict[str, Histogram] = defaultdict(Histogram)
+        self.phase_seconds: dict[str, float] = defaultdict(float)
+
+    def count(self, name: str, increment: int = 1) -> None:
+        self.counters[name] += int(increment)
+
+    def get_count(self, name: str) -> int:
+        return int(self.counters.get(name, 0))
+
+    def observe(self, name: str, value: float) -> None:
+        self.histograms[name].record(value)
+
+    def charge(self, phase: str, seconds: float) -> None:
+        """Accumulate simulated seconds into a named phase bucket."""
+        self.phase_seconds[phase] += float(seconds)
+
+    def snapshot(self) -> dict:
+        return {
+            "counters": dict(self.counters),
+            "phase_seconds": dict(self.phase_seconds),
+            "histograms": {
+                name: h.snapshot() for name, h in self.histograms.items()
+            },
+        }
+
+
+def _fmt_seconds(s: float) -> str:
+    return f"{s * 1e3:.3f} ms"
+
+
+def format_metrics(snapshot: dict) -> str:
+    """Readable multi-line rendering of a :meth:`ServiceMetrics.snapshot`
+    (or :meth:`SolverService.stats`) dict."""
+    lines: list[str] = []
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        for name in sorted(counters):
+            lines.append(f"  {name:<28} {counters[name]}")
+    phases = snapshot.get("phase_seconds", {})
+    if phases:
+        lines.append("simulated phase seconds:")
+        for name in sorted(phases):
+            lines.append(f"  {name:<28} {_fmt_seconds(phases[name])}")
+    hists = snapshot.get("histograms", {})
+    if hists:
+        lines.append("histograms (seconds unless noted):")
+        for name in sorted(hists):
+            h = hists[name]
+            lines.append(
+                f"  {name:<28} n={h['count']:<6} "
+                f"p50={h['p50']:.6f} p99={h['p99']:.6f} "
+                f"mean={h['mean']:.6f} max={h['max']:.6f}"
+            )
+    cache = snapshot.get("cache")
+    if cache:
+        lines.append("analysis cache:")
+        lines.append(
+            f"  entries={cache['entries']} "
+            f"bytes={cache['current_bytes']}/{cache['capacity_bytes']} "
+            f"hit_rate={cache['hit_rate']:.3f}"
+        )
+        lines.append(
+            f"  hits={cache['hits']} misses={cache['misses']} "
+            f"evictions={cache['evictions']} "
+            f"invalidations={cache['invalidations']}"
+        )
+    devices = snapshot.get("devices")
+    if devices:
+        lines.append("devices:")
+        for d in devices:
+            lines.append(
+                f"  device[{d['device_id']}] "
+                f"busy_until={_fmt_seconds(d['busy_until'])} "
+                f"batches={d['batches']} "
+                f"sim={_fmt_seconds(d['sim_seconds'])}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,387 @@
+"""Request queue + pattern-batched dispatch across simulated devices.
+
+The scheduler turns a stream of :class:`SolveRequest` jobs into batched
+work on a pool of simulated GPUs:
+
+* **Bounded queue / backpressure** — ``submit`` refuses work past
+  ``max_queue_depth`` with :class:`~repro.errors.QueueFullError`; the
+  caller must drain (or shed load) before enqueuing more.
+* **Pattern batching** — at drain time, pending requests are grouped by
+  sparsity-pattern key.  Each group fetches (or builds) one
+  :class:`~repro.core.ReusableAnalysis` and then runs *numeric-only*
+  refactorizations, one per distinct value set; requests whose value
+  arrays are bit-identical coalesce onto a single refactorization and
+  differ only in their triangular solves.
+* **Device affinity** — a pattern is pinned to the device that analyzed
+  it (the analysis's buffers conceptually live there), so repeat traffic
+  for a hot pattern stays local; cold patterns go to the least-loaded
+  device.
+* **Deadlines** — a request whose simulated completion time passes its
+  absolute deadline is reported as ``timeout``; requests already past
+  deadline when their batch starts are shed without consuming numeric
+  work.
+* **Retry-once-on-eviction** — if a cached analysis turns out not to
+  match the batch's pattern (stale or poisoned entry), the entry is
+  invalidated, the pattern re-analyzed once, and the batch retried;
+  a second failure surfaces as per-request ``error`` responses.
+
+Time is *simulated* throughout: each device advances a ``busy_until``
+clock by the simulated seconds its GPU ledger records for the work it
+executes, so latencies and throughput are deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.config import SolverConfig
+from ..core.refactorize import ReusableAnalysis, analyze
+from ..errors import (
+    DeadlineExceededError,
+    QueueFullError,
+    ReproError,
+    ServeError,
+    SparseFormatError,
+)
+from ..gpusim import GPU
+from ..sparse import CSRMatrix
+from .cache import AnalysisCache, pattern_key, values_key
+from .metrics import ServiceMetrics
+
+__all__ = [
+    "SolveRequest",
+    "SolveResponse",
+    "SimulatedDevice",
+    "DevicePool",
+    "BatchScheduler",
+]
+
+
+@dataclass
+class SolveRequest:
+    """One queued solve: matrix values ``a``, right-hand side ``b``, and an
+    optional absolute simulated-time ``deadline``."""
+
+    request_id: int
+    a: CSRMatrix
+    b: np.ndarray
+    key: str
+    arrival: float
+    deadline: float | None = None
+    #: was the pattern's analysis resident when this request was accepted?
+    cached_at_submit: bool = False
+
+
+@dataclass
+class SolveResponse:
+    """Outcome of one request.  ``status`` is one of ``ok`` / ``timeout`` /
+    ``error``; ``x`` is only present for ``ok``."""
+
+    request_id: int
+    status: str
+    x: np.ndarray | None = None
+    finish: float = 0.0
+    latency: float = 0.0
+    cache_hit: bool = False
+    device_id: int = -1
+    batch_size: int = 1
+    coalesced: bool = False
+    retried: bool = False
+    error: str | None = None
+    deadline: float | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def raise_for_status(self) -> "SolveResponse":
+        """Exception-style handling: raise on non-``ok`` responses."""
+        if self.status == "timeout":
+            raise DeadlineExceededError(
+                self.request_id,
+                self.deadline if self.deadline is not None else self.finish,
+                self.finish,
+            )
+        if self.status != "ok":
+            raise ServeError(
+                f"request {self.request_id} failed: {self.error or self.status}"
+            )
+        return self
+
+
+@dataclass
+class SimulatedDevice:
+    """One GPU of the pool plus its position on the virtual timeline."""
+
+    device_id: int
+    gpu: GPU
+    busy_until: float = 0.0
+    batches: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "device_id": self.device_id,
+            "busy_until": self.busy_until,
+            "batches": self.batches,
+            "sim_seconds": self.gpu.ledger.total_seconds,
+        }
+
+
+class DevicePool:
+    """Fixed pool of simulated devices with least-loaded selection."""
+
+    def __init__(self, config: SolverConfig, num_devices: int) -> None:
+        if num_devices < 1:
+            raise ValueError("num_devices must be >= 1")
+        self.devices = [
+            SimulatedDevice(
+                device_id=d,
+                gpu=GPU(spec=config.device, host=config.host,
+                        cost=config.cost_model),
+            )
+            for d in range(num_devices)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def least_loaded(self) -> SimulatedDevice:
+        return min(self.devices, key=lambda d: (d.busy_until, d.device_id))
+
+    def snapshot(self) -> list[dict]:
+        return [d.snapshot() for d in self.devices]
+
+
+@dataclass
+class _Batch:
+    """All pending requests sharing one pattern key."""
+
+    key: str
+    requests: list[SolveRequest] = field(default_factory=list)
+
+    @property
+    def earliest_arrival(self) -> float:
+        return min(r.arrival for r in self.requests)
+
+
+class BatchScheduler:
+    """Bounded request queue + pattern-batched dispatcher."""
+
+    def __init__(
+        self,
+        config: SolverConfig,
+        cache: AnalysisCache,
+        metrics: ServiceMetrics,
+        *,
+        num_devices: int = 1,
+        max_queue_depth: int = 64,
+    ) -> None:
+        if max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        self.config = config
+        self.cache = cache
+        self.metrics = metrics
+        self.max_queue_depth = int(max_queue_depth)
+        self.pool = DevicePool(config, num_devices)
+        self._queue: list[SolveRequest] = []
+        #: pattern key -> device that holds/built its analysis
+        self._affinity: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def make_request(
+        self,
+        request_id: int,
+        a: CSRMatrix,
+        b: np.ndarray,
+        *,
+        arrival: float,
+        deadline: float | None = None,
+    ) -> SolveRequest:
+        b = np.asarray(b, dtype=np.float64).reshape(-1)
+        if b.shape[0] != a.n_rows:
+            raise ValueError(
+                f"rhs length {b.shape[0]} != matrix rows {a.n_rows}"
+            )
+        key = pattern_key(a)
+        return SolveRequest(
+            request_id=request_id,
+            a=a,
+            b=b,
+            key=key,
+            arrival=arrival,
+            deadline=deadline,
+            cached_at_submit=key in self.cache,
+        )
+
+    def submit(self, request: SolveRequest) -> None:
+        """Enqueue or raise :class:`QueueFullError` (backpressure)."""
+        if len(self._queue) >= self.max_queue_depth:
+            self.metrics.count("rejected")
+            raise QueueFullError(len(self._queue), self.max_queue_depth)
+        self._queue.append(request)
+        self.metrics.count("submitted")
+        self.metrics.observe("queue_depth", float(len(self._queue)))
+
+    # ------------------------------------------------------------------
+    def drain(self, now: float) -> list[SolveResponse]:
+        """Dispatch every queued request; returns responses ordered by
+        request id.  ``now`` is the current virtual time — no batch starts
+        before it."""
+        batches: dict[str, _Batch] = {}
+        for req in self._queue:
+            batches.setdefault(req.key, _Batch(key=req.key)).requests.append(req)
+        self._queue.clear()
+        responses: list[SolveResponse] = []
+        # earliest-arrival-first over pattern groups keeps FIFO fairness
+        # at batch granularity
+        for batch in sorted(batches.values(),
+                            key=lambda b: b.earliest_arrival):
+            responses.extend(self._dispatch_batch(batch, now))
+        responses.sort(key=lambda r: r.request_id)
+        return responses
+
+    # ------------------------------------------------------------------
+    def _device_for(self, batch: _Batch) -> SimulatedDevice:
+        dev_id = self._affinity.get(batch.key)
+        if dev_id is not None and batch.key in self.cache:
+            return self.pool.devices[dev_id]
+        return self.pool.least_loaded()
+
+    def _analyze_on(
+        self, device: SimulatedDevice, a: CSRMatrix
+    ) -> tuple[ReusableAnalysis, float]:
+        """Build an analysis on ``device``; returns it plus sim seconds."""
+        t0 = device.gpu.ledger.total_seconds
+        analysis = analyze(a, self.config, gpu=device.gpu)
+        elapsed = device.gpu.ledger.total_seconds - t0
+        self.metrics.charge("analysis", elapsed)
+        return analysis, elapsed
+
+    def _dispatch_batch(
+        self, batch: _Batch, now: float
+    ) -> list[SolveResponse]:
+        device = self._device_for(batch)
+        device.batches += 1
+        t = max(device.busy_until, now)
+        size = len(batch.requests)
+        self.metrics.observe("batch_size", float(size))
+
+        analysis = self.cache.get(batch.key)
+        hit = analysis is not None
+        retried = False
+        if hit:
+            # _device_for already routed the batch to the pattern's
+            # affinity device when the analysis is resident
+            self.metrics.count("cache_hits")
+        else:
+            self.metrics.count("cache_misses")
+            if any(r.cached_at_submit for r in batch.requests):
+                # resident at submit, gone at dispatch: evicted in between
+                self.metrics.count("evicted_before_dispatch")
+            analysis, elapsed = self._analyze_on(device, batch.requests[0].a)
+            t += elapsed
+            self.cache.put(batch.key, analysis)
+            self._affinity[batch.key] = device.device_id
+
+        # coalesce bit-identical value sets onto one refactorization each
+        by_values: dict[str, list[SolveRequest]] = {}
+        for req in batch.requests:
+            by_values.setdefault(values_key(req.a), []).append(req)
+
+        responses: list[SolveResponse] = []
+        for reqs in by_values.values():
+            viable = [
+                r for r in reqs if r.deadline is None or r.deadline >= t
+            ]
+            if not viable:
+                # every request already past deadline: shed without work
+                for r in reqs:
+                    self.metrics.count("timeouts")
+                    self.metrics.count("shed")
+                    responses.append(self._finish(
+                        r, "timeout", None, t, hit, device, size, retried))
+                continue
+            try:
+                result, numeric_s, retried_now = self._refactorize(
+                    device, batch, analysis, viable[0].a)
+                retried = retried or retried_now
+            except ReproError as exc:
+                for r in reqs:
+                    self.metrics.count("errors")
+                    responses.append(self._finish(
+                        r, "error", None, t, hit, device, size, retried,
+                        error=f"{type(exc).__name__}: {exc}"))
+                continue
+            if retried:
+                analysis = result.analysis
+            t += numeric_s
+            for i, r in enumerate(reqs):
+                t0 = device.gpu.ledger.total_seconds
+                x = result.solve(r.b)
+                # the two triangular solves stream L and U once each
+                device.gpu.launch_utility(result.L.nnz + result.U.nnz)
+                solve_s = device.gpu.ledger.total_seconds - t0
+                self.metrics.charge("solve", solve_s)
+                t += solve_s
+                if r.deadline is not None and t > r.deadline:
+                    self.metrics.count("timeouts")
+                    responses.append(self._finish(
+                        r, "timeout", None, t, hit, device, size, retried))
+                    continue
+                if i > 0:
+                    self.metrics.count("coalesced")
+                self.metrics.count("completed")
+                responses.append(self._finish(
+                    r, "ok", x, t, hit, device, size, retried,
+                    coalesced=i > 0))
+        device.busy_until = t
+        return responses
+
+    def _refactorize(self, device, batch, analysis, a):
+        """Numeric-only pass with the retry-once-on-bad-entry path."""
+        t0 = device.gpu.ledger.total_seconds
+        try:
+            result = analysis.refactorize(a)
+        except SparseFormatError:
+            # stale/poisoned cache entry: purge, rebuild once, retry
+            self.cache.invalidate(batch.key)
+            self.metrics.count("retries")
+            analysis, _ = self._analyze_on(device, a)
+            self.cache.put(batch.key, analysis)
+            self._affinity[batch.key] = device.device_id
+            result = analysis.refactorize(a)  # second failure propagates
+            numeric_s = device.gpu.ledger.total_seconds - t0
+            self.metrics.charge("numeric", result.sim_seconds)
+            return result, numeric_s, True
+        numeric_s = device.gpu.ledger.total_seconds - t0
+        self.metrics.charge("numeric", result.sim_seconds)
+        return result, numeric_s, False
+
+    def _finish(
+        self, req, status, x, t, hit, device, size, retried, *,
+        coalesced=False, error=None,
+    ) -> SolveResponse:
+        latency = t - req.arrival
+        self.metrics.observe("latency", latency)
+        if status == "ok":
+            self.metrics.observe("ok_latency", latency)
+        return SolveResponse(
+            request_id=req.request_id,
+            status=status,
+            x=x,
+            finish=t,
+            latency=latency,
+            cache_hit=hit,
+            device_id=device.device_id,
+            batch_size=size,
+            coalesced=coalesced,
+            retried=retried,
+            error=error,
+            deadline=req.deadline,
+        )

@@ -78,3 +78,55 @@ class TestAnalyze:
         full = factorize(pattern, cfg())
         assert res.L.allclose(full.L)
         assert res.U.allclose(full.U)
+
+    def test_rejects_pattern_superset(self, pattern):
+        """Extra entries (same shape, more nonzeros) must be refused —
+        silently scattering them would corrupt the factorization."""
+        from repro.sparse import COOMatrix
+
+        an = analyze(pattern, cfg())
+        coo = pattern.to_coo()
+        free = next(
+            (i, j)
+            for i in range(pattern.n_rows)
+            for j in range(pattern.n_cols)
+            if j not in pattern.row(i)[0]
+        )
+        rows = np.append(coo.rows, free[0])
+        cols = np.append(coo.cols, free[1])
+        vals = np.append(coo.data, 0.5)
+        grown = COOMatrix(
+            pattern.n_rows, pattern.n_cols, rows, cols, vals
+        ).to_csr()
+        with pytest.raises(SparseFormatError):
+            an.refactorize(grown)
+
+
+class TestAnalysisFootprint:
+    """The nbytes accounting the serving cache budgets against."""
+
+    def test_nbytes_counts_all_retained_arrays(self, pattern):
+        an = analyze(pattern, cfg())
+        total = an.nbytes
+        assert total > 0
+        # the filled pattern + scatter map alone are a lower bound
+        floor = (
+            an.filled.indptr.nbytes
+            + an.filled.indices.nbytes
+            + an.filled.data.nbytes
+            + an._scatter.nbytes
+        )
+        assert total > floor
+
+    def test_nbytes_stable_across_refactorizations(self, pattern):
+        an = analyze(pattern, cfg())
+        before = an.nbytes
+        from repro.serve.loadgen import restamp
+
+        an.refactorize(restamp(pattern, 7))
+        assert an.nbytes == before  # numeric passes retain nothing
+
+    def test_nbytes_grows_with_problem_size(self):
+        small = analyze(circuit_like(90, 6.0, seed=1), cfg())
+        large = analyze(circuit_like(360, 6.0, seed=1), cfg())
+        assert large.nbytes > 2 * small.nbytes

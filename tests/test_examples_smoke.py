@@ -4,6 +4,7 @@ Guards the examples against API drift; each asserts its own invariants
 internally and must exit 0.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -11,12 +12,25 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+SRC = EXAMPLES.parent / "src"
 
 FAST_EXAMPLES = [
     "quickstart.py",
     "gpu_scheduling.py",
     "out_of_core_demo.py",
+    "serving.py",
 ]
+
+
+def _env():
+    """os.environ with the repo's ``src`` prepended to PYTHONPATH (the
+    subprocess does not inherit the test runner's import path)."""
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        f"{SRC}{os.pathsep}{existing}" if existing else str(SRC)
+    )
+    return env
 
 
 @pytest.mark.parametrize("script", FAST_EXAMPLES)
@@ -27,6 +41,7 @@ def test_example_runs_clean(script, tmp_path):
         text=True,
         timeout=600,
         cwd=tmp_path,  # examples must not depend on the repo cwd
+        env=_env(),
     )
     assert proc.returncode == 0, proc.stderr[-2000:]
     assert proc.stdout.strip()  # every example narrates its results
@@ -36,6 +51,7 @@ def test_quickstart_output_contents(tmp_path):
     proc = subprocess.run(
         [sys.executable, str(EXAMPLES / "quickstart.py")],
         capture_output=True, text=True, timeout=600, cwd=tmp_path,
+        env=_env(),
     )
     out = proc.stdout
     assert "relative residual" in out

@@ -1,0 +1,144 @@
+"""Pattern-keyed LRU analysis cache: keying, byte-budget eviction, stats."""
+
+import numpy as np
+import pytest
+
+from repro.core import SolverConfig, analyze
+from repro.gpusim import scaled_device, scaled_host
+from repro.serve import AnalysisCache, pattern_key, values_key
+from repro.serve.loadgen import restamp
+from repro.workloads import circuit_like
+
+
+def cfg(mem=8 << 20):
+    return SolverConfig(device=scaled_device(mem), host=scaled_host(8 * mem))
+
+
+@pytest.fixture(scope="module")
+def analyses():
+    """Three analyses of distinct patterns (module-scoped: analyze is the
+    expensive pattern-dependent phase these tests only need as payload)."""
+    mats = [circuit_like(120, 6.0, seed=s) for s in (1, 2, 3)]
+    return mats, [analyze(a, cfg()) for a in mats]
+
+
+class TestPatternKey:
+    def test_same_pattern_same_key(self):
+        a = circuit_like(100, 6.0, seed=5)
+        b = restamp(a, seed=99)  # same structure, new values
+        assert not np.array_equal(a.data, b.data)
+        assert pattern_key(a) == pattern_key(b)
+
+    def test_different_pattern_different_key(self):
+        a = circuit_like(100, 6.0, seed=5)
+        b = circuit_like(100, 6.0, seed=6)
+        assert pattern_key(a) != pattern_key(b)
+
+    def test_key_independent_of_index_dtype(self):
+        a = circuit_like(80, 5.0, seed=1)
+        widened = a.copy()
+        widened.indptr = widened.indptr.astype(np.int64)
+        widened.indices = widened.indices.astype(np.int64)
+        assert pattern_key(a) == pattern_key(widened)
+
+    def test_values_key_tracks_values(self):
+        a = circuit_like(80, 5.0, seed=1)
+        b = restamp(a, seed=2)
+        assert values_key(a) != values_key(b)
+        assert values_key(a) == values_key(a.copy())
+
+
+class TestEviction:
+    def test_evicts_lru_under_byte_limit(self, analyses):
+        mats, ans = analyses
+        sizes = [an.nbytes for an in ans]
+        # budget for exactly the two largest entries
+        cache = AnalysisCache(capacity_bytes=sizes[1] + sizes[2])
+        keys = [pattern_key(m) for m in mats]
+        cache.put(keys[0], ans[0])
+        cache.put(keys[1], ans[1])
+        evicted = cache.put(keys[2], ans[2])  # must push out keys[0] (LRU)
+        assert evicted == [keys[0]]
+        assert keys[0] not in cache and keys[1] in cache and keys[2] in cache
+        assert cache.current_bytes == sizes[1] + sizes[2]
+        assert cache.evictions == 1
+
+    def test_get_refreshes_recency(self, analyses):
+        mats, ans = analyses
+        sizes = [an.nbytes for an in ans]
+        # room for entry 0 plus whichever of 1/2 is larger, so inserting
+        # 2 must evict exactly one resident entry — the LRU one
+        cache = AnalysisCache(
+            capacity_bytes=sizes[0] + max(sizes[1], sizes[2])
+        )
+        keys = [pattern_key(m) for m in mats]
+        cache.put(keys[0], ans[0])
+        cache.put(keys[1], ans[1])
+        assert cache.get(keys[0]) is ans[0]  # 0 becomes MRU
+        evicted = cache.put(keys[2], ans[2])
+        assert keys[1] in evicted and keys[0] in cache
+
+    def test_zero_capacity_never_caches(self, analyses):
+        mats, ans = analyses
+        cache = AnalysisCache(capacity_bytes=0)
+        key = pattern_key(mats[0])
+        cache.put(key, ans[0])
+        assert len(cache) == 0 and cache.uncacheable == 1
+        assert cache.get(key) is None
+        assert cache.misses == 1 and cache.hit_rate == 0.0
+
+    def test_oversized_entry_refused_and_replacement_dropped(self, analyses):
+        mats, ans = analyses
+        small = AnalysisCache(capacity_bytes=ans[0].nbytes)
+        key = pattern_key(mats[0])
+        small.put(key, ans[0])
+        assert key in small
+        # shrinking the budget is not supported live, but an uncacheable
+        # replacement for a resident key must drop the stale entry
+        small.capacity_bytes = ans[0].nbytes - 1
+        small.put(key, ans[0])
+        assert key not in small and small.current_bytes == 0
+
+    def test_invalidate(self, analyses):
+        mats, ans = analyses
+        cache = AnalysisCache()
+        key = pattern_key(mats[0])
+        cache.put(key, ans[0])
+        assert cache.invalidate(key)
+        assert not cache.invalidate(key)  # second time: not resident
+        assert cache.invalidations == 1
+        assert cache.current_bytes == 0
+
+    def test_stats_schema(self, analyses):
+        mats, ans = analyses
+        cache = AnalysisCache()
+        cache.put(pattern_key(mats[0]), ans[0])
+        cache.get(pattern_key(mats[0]))
+        cache.get("missing")
+        st = cache.stats()
+        assert st["entries"] == 1
+        assert st["hits"] == 1 and st["misses"] == 1
+        assert st["hit_rate"] == 0.5
+        assert st["current_bytes"] == ans[0].nbytes
+        assert st["capacity_bytes"] == cache.capacity_bytes
+
+    def test_peek_does_not_count(self, analyses):
+        mats, ans = analyses
+        cache = AnalysisCache()
+        key = pattern_key(mats[0])
+        cache.put(key, ans[0])
+        assert cache.peek(key) is ans[0]
+        assert cache.peek("missing") is None
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ValueError):
+            AnalysisCache(capacity_bytes=-1)
+
+
+class TestAnalysisNbytes:
+    def test_nbytes_positive_and_scales(self):
+        small = analyze(circuit_like(60, 5.0, seed=1), cfg())
+        large = analyze(circuit_like(240, 5.0, seed=1), cfg())
+        assert small.nbytes > 0
+        assert large.nbytes > small.nbytes
