@@ -16,6 +16,10 @@ Commands
 ``serve-bench``   replay a repeated-pattern workload through the
               :mod:`repro.serve` solver service and report cache hit
               rate, latency percentiles, and speedup vs. cold solves.
+``fault-drill``   run the four fault/recovery scenarios (flaky link,
+              OOM storm, singular workload, dead device) and verify
+              every one recovers or degrades to the CPU fallback, with
+              deterministic event logs (see docs/faults.md).
 """
 
 from __future__ import annotations
@@ -179,6 +183,12 @@ def cmd_serve_bench(args) -> int:
     return 0
 
 
+def cmd_fault_drill(args) -> int:
+    from .bench.fault_drill import run_fault_drill_cli
+
+    return run_fault_drill_cli(smoke=args.smoke, seed=args.seed)
+
+
 def cmd_bench(args) -> int:
     if args.experiment == "all":
         from .bench.experiments import main as exp_main
@@ -279,6 +289,18 @@ def build_parser() -> argparse.ArgumentParser:
                     help="also print full service metrics")
     add_device(sp)
     sp.set_defaults(fn=cmd_serve_bench)
+
+    sp = sub.add_parser(
+        "fault-drill",
+        help="exercise the recovery ladder: flaky link, OOM storm, "
+             "singular workload, dead device (each must recover or "
+             "degrade to the CPU fallback, deterministically)",
+    )
+    sp.add_argument("--smoke", action="store_true",
+                    help="small matrices (CI-sized run)")
+    sp.add_argument("--seed", type=int, default=0,
+                    help="fault-plan seed (same seed -> identical drill)")
+    sp.set_defaults(fn=cmd_fault_drill)
     return p
 
 

@@ -11,6 +11,17 @@
 """
 
 from .config import SCRATCH_ARRAYS_PER_ROW, SolverConfig
+from .resilient import (
+    RecoveryEvent,
+    RecoveryLog,
+    RecoveryReport,
+    ResilienceConfig,
+    ResilientGPU,
+    RetryPolicy,
+    SymbolicCheckpoint,
+    recovery_log_of,
+    run_chunk,
+)
 from .levelize_gpu import (
     LevelizeResult,
     levelize_cpu_serial,
@@ -49,6 +60,15 @@ from .solver import factorize, solve
 __all__ = [
     "SolverConfig",
     "SCRATCH_ARRAYS_PER_ROW",
+    "ResilienceConfig",
+    "RetryPolicy",
+    "RecoveryEvent",
+    "RecoveryLog",
+    "RecoveryReport",
+    "ResilientGPU",
+    "SymbolicCheckpoint",
+    "run_chunk",
+    "recovery_log_of",
     "outofcore_symbolic",
     "plan_chunks",
     "plan_chunks_multipart",

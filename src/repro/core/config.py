@@ -10,6 +10,7 @@ import numpy as np
 from ..errors import ConfigurationError
 from ..gpusim import CostModel, DEFAULT_COST_MODEL, DeviceSpec, HostSpec, V100, XEON_E5_2680
 from ..preprocess import PreprocessOptions
+from .resilient import ResilienceConfig
 
 SymbolicMode = Literal["outofcore", "unified", "incore"]
 NumericFormat = Literal["auto", "dense", "csc"]
@@ -62,6 +63,10 @@ class SolverConfig:
 
     pivot_tolerance: float = 0.0
     preprocess: PreprocessOptions = field(default_factory=PreprocessOptions)
+
+    #: recovery ladder (retries, chunk resume, pivot perturbation); ``None``
+    #: disables resilience entirely (historical behaviour)
+    resilience: ResilienceConfig | None = None
 
     def __post_init__(self) -> None:
         if not (0.0 < self.split_fraction <= 1.0):

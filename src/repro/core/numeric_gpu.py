@@ -38,11 +38,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import SingularMatrixError
 from ..gpusim import GPU
 from ..graph import LevelSchedule, sub_column_counts
 from ..numeric import NumericStats, extract_lu, factorize_in_place
 from ..sparse import CSCMatrix, CSRMatrix
 from .config import SolverConfig
+from .resilient import recovery_log_of
 
 #: warp teams a type-B block spreads over its column's sub-columns (block
 #: thread budget / warp size / lanes per team).
@@ -61,6 +63,70 @@ class NumericResult:
 
     def factors(self) -> tuple[CSCMatrix, CSCMatrix]:
         return extract_lu(self.As)
+
+    @property
+    def perturbed_columns(self) -> tuple[int, ...]:
+        """Columns recovered by static pivot perturbation (rung 3)."""
+        return tuple(self.stats.perturbed_columns)
+
+
+def factorize_with_pivot_recovery(
+    gpu: GPU,
+    As: CSCMatrix,
+    filled: CSRMatrix,
+    schedule: LevelSchedule,
+    config: SolverConfig,
+    *,
+    count_search_steps: bool,
+) -> NumericStats:
+    """Run :func:`factorize_in_place` with recovery rung 3 attached.
+
+    Without a resilience config this is a plain pass-through (zero copies,
+    historical behaviour).  With one, the values are snapshotted first;
+    on :class:`~repro.errors.SingularMatrixError` they are restored and
+    the factorization re-runs with static pivot perturbation sized
+    relative to ``max|A|``.  The recovery is recorded in the ledger
+    (``pivot_recoveries``) and the run's :class:`RecoveryLog`.
+    """
+    res = config.resilience
+    recover = res is not None and res.pivot_recovery
+    backup = As.data.copy() if recover else None
+    try:
+        return factorize_in_place(
+            As,
+            filled,
+            schedule,
+            pivot_tolerance=config.pivot_tolerance,
+            count_search_steps=count_search_steps,
+        )
+    except SingularMatrixError as exc:
+        if backup is None:
+            raise
+        As.data[:] = backup  # the failed attempt mutated values in place
+        scale = float(np.max(np.abs(backup))) if As.nnz else 0.0
+        perturb = res.pivot_perturbation_rel * (scale or 1.0)
+        stats = factorize_in_place(
+            As,
+            filled,
+            schedule,
+            pivot_tolerance=config.pivot_tolerance,
+            count_search_steps=count_search_steps,
+            pivot_perturbation=perturb,
+        )
+        gpu.ledger.count("pivot_recoveries")
+        log = recovery_log_of(gpu)
+        if log is not None:
+            log.record(
+                "pivot-perturb",
+                f"column {exc.column}",
+                1,
+                gpu.ledger.total_seconds,
+                detail=(
+                    f"{len(stats.perturbed_columns)} column(s) "
+                    f"perturbed to ±{perturb:.3e}"
+                ),
+            )
+        return stats
 
 
 def choose_format(
@@ -133,11 +199,8 @@ def numeric_factorize_gpu(
                 max(1, cap) * n * val, "dense column buffers"
             )
 
-        stats = factorize_in_place(
-            As,
-            filled,
-            schedule,
-            pivot_tolerance=config.pivot_tolerance,
+        stats = factorize_with_pivot_recovery(
+            gpu, As, filled, schedule, config,
             count_search_steps=(fmt == "csc"),
         )
 

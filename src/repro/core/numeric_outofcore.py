@@ -25,11 +25,10 @@ import numpy as np
 
 from ..gpusim import GPU
 from ..graph import LevelSchedule, sub_column_counts
-from ..numeric import NumericStats, extract_lu, factorize_in_place
 from ..sparse import CSCMatrix, CSRMatrix
 from ..sparse.types import INDEX_DTYPE
 from .config import SolverConfig
-from .numeric_gpu import NumericResult
+from .numeric_gpu import NumericResult, factorize_with_pivot_recovery
 
 
 @dataclass
@@ -124,9 +123,8 @@ def numeric_factorize_outofcore(
         )
 
         # real numerics once, with per-level stats for charging
-        stats = factorize_in_place(
-            As, filled, schedule,
-            pivot_tolerance=config.pivot_tolerance,
+        stats = factorize_with_pivot_recovery(
+            gpu, As, filled, schedule, config,
             count_search_steps=True,
         )
 

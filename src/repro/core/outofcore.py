@@ -40,6 +40,7 @@ from ..symbolic import (
     traversal_edges_per_row,
 )
 from .config import SolverConfig
+from .resilient import SymbolicCheckpoint, run_chunk
 
 
 @dataclass(frozen=True)
@@ -72,6 +73,10 @@ class SymbolicResult:
     sim_seconds: float
     device_filled: Buffer | None = None
     device_graph: list[Buffer] = field(default_factory=list)
+    #: chunk-granularity progress record (resume point under faults)
+    checkpoint: SymbolicCheckpoint = field(
+        default_factory=SymbolicCheckpoint
+    )
 
     @property
     def new_fill_ins(self) -> int:
@@ -261,23 +266,50 @@ def outofcore_symbolic(
 
         fill_count = filled.row_nnz().astype(np.int64)
         iterations = 0
+        resilience = config.resilience
+        checkpoint = SymbolicCheckpoint()
+
+        def for_each_chunk(stage: str, body) -> None:
+            """Run ``body(plan, start, end)`` per chunk inside its scratch
+            allocation.  With resilience enabled each chunk is a
+            checkpointed unit: a fault that escapes the per-operation
+            retries frees the chunk's scratch (``try/finally``), backs
+            off, and resumes from this chunk — completed chunks never
+            re-run."""
+            nonlocal iterations
+            chunk_id = 0
+            for plan in plans:
+                for start in range(plan.row_start, plan.row_end,
+                                   plan.chunk_size):
+                    end = min(start + plan.chunk_size, plan.row_end)
+
+                    def chunk_body(plan=plan, start=start, end=end):
+                        scratch = gpu.malloc(
+                            (end - start) * plan.scratch_bytes_per_row,
+                            "symbolic scratch",
+                        )
+                        try:
+                            body(plan, start, end)
+                        finally:
+                            gpu.free(scratch)
+
+                    if resilience is not None:
+                        run_chunk(gpu, resilience.chunk_retry, checkpoint,
+                                  stage, chunk_id, chunk_body)
+                    else:
+                        chunk_body()
+                    iterations += 1
+                    chunk_id += 1
 
         # -- stage 1: count nonzeros per row (kernel symbolic_1) -----------
-        for plan in plans:
-            for start in range(plan.row_start, plan.row_end, plan.chunk_size):
-                end = min(start + plan.chunk_size, plan.row_end)
-                rows = end - start
-                scratch = gpu.malloc(
-                    rows * plan.scratch_bytes_per_row, "symbolic scratch"
-                )
-                blocks = chunk_blocks(frontier[start:end])
-                gpu.launch_traversal(
-                    edges=int(edges_per_row[start:end].sum()),
-                    avg_degree=avg_degree,
-                    blocks=blocks,
-                )
-                gpu.free(scratch)
-                iterations += 1
+        def stage1_body(plan, start, end):
+            gpu.launch_traversal(
+                edges=int(edges_per_row[start:end].sum()),
+                avg_degree=avg_degree,
+                blocks=chunk_blocks(frontier[start:end]),
+            )
+
+        for_each_chunk("symbolic_1", stage1_body)
 
         # -- prefix sum on fill_count (line 7) ------------------------------
         gpu.launch_utility(n)
@@ -290,29 +322,22 @@ def outofcore_symbolic(
         )
 
         # -- stage 2: write fill positions (kernel symbolic_2) --------------
-        for plan in plans:
-            for start in range(plan.row_start, plan.row_end, plan.chunk_size):
-                end = min(start + plan.chunk_size, plan.row_end)
-                rows = end - start
-                scratch = gpu.malloc(
-                    rows * plan.scratch_bytes_per_row, "symbolic scratch"
+        def stage2_body(plan, start, end):
+            # traversal again, plus one write per produced nonzero
+            gpu.launch_traversal(
+                edges=int(
+                    edges_per_row[start:end].sum()
+                    + fill_count[start:end].sum()
+                ),
+                avg_degree=avg_degree,
+                blocks=chunk_blocks(frontier[start:end]),
+            )
+            if streaming_output:
+                gpu.d2h(
+                    int(fill_count[start:end].sum()) * (idx + val)
                 )
-                blocks = chunk_blocks(frontier[start:end])
-                # traversal again, plus one write per produced nonzero
-                gpu.launch_traversal(
-                    edges=int(
-                        edges_per_row[start:end].sum()
-                        + fill_count[start:end].sum()
-                    ),
-                    avg_degree=avg_degree,
-                    blocks=blocks,
-                )
-                if streaming_output:
-                    gpu.d2h(
-                        int(fill_count[start:end].sum()) * (idx + val)
-                    )
-                gpu.free(scratch)
-                iterations += 1
+
+        for_each_chunk("symbolic_2", stage2_body)
 
         if not keep_on_device and device_filled is not None:
             gpu.d2h(filled_bytes)
@@ -331,4 +356,5 @@ def outofcore_symbolic(
         sim_seconds=ledger.total_seconds - t0,
         device_filled=device_filled,
         device_graph=graph_bufs,
+        checkpoint=checkpoint,
     )

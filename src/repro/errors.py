@@ -14,6 +14,18 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
 
+class RecoverableError(ReproError):
+    """Marker base for *transient* failures that a resilient executor may
+    retry (:mod:`repro.core.resilient`).
+
+    Errors deriving from this class describe conditions expected to clear
+    on their own — a flaky interconnect dropping a DMA, a kernel hit by an
+    injected fault, a temporary memory-pressure episode — as opposed to
+    structural problems (singular matrices, genuine capacity limits) that
+    no amount of retrying fixes.
+    """
+
+
 class SparseFormatError(ReproError):
     """A sparse container was constructed from or used with invalid data."""
 
@@ -26,8 +38,51 @@ class DeviceMemoryError(ReproError):
         self.available = int(available)
         self.what = what
         super().__init__(
-            f"device OOM: requested {requested} B, {available} B free"
-            + (f" while allocating {what}" if what else "")
+            f"device OOM: requested {requested} B, {available} B free "
+            f"while allocating {what or '<unlabeled>'}"
+        )
+
+
+class MemoryPressureError(DeviceMemoryError, RecoverableError):
+    """A device allocation failed only because of a *transient* memory-
+    pressure episode (injected by :class:`repro.gpusim.FaultInjector`).
+
+    Unlike a plain :class:`DeviceMemoryError` — a structural condition the
+    out-of-core machinery must design around — this failure clears once
+    the pressure episode releases, so resilient executors retry it.
+    """
+
+
+class TransferError(RecoverableError):
+    """A transient host<->device DMA failure (flaky link / ECC replay).
+
+    Raised by the fault injector *before* any time or counters are
+    charged, so a retried transfer leaves the ledger identical to a
+    fault-free run plus the retry-category time.
+    """
+
+    def __init__(self, direction: str, nbytes: int, op_index: int) -> None:
+        self.direction = str(direction)
+        self.nbytes = int(nbytes)
+        self.op_index = int(op_index)
+        super().__init__(
+            f"transient {direction} transfer fault "
+            f"({nbytes} B, device op #{op_index})"
+        )
+
+
+class KernelFaultError(RecoverableError):
+    """A transient kernel-execution fault (injected ECC/launch failure).
+
+    Raised before launch overhead or compute time is charged; the kernel
+    never counts as launched.
+    """
+
+    def __init__(self, kernel: str, op_index: int) -> None:
+        self.kernel = str(kernel)
+        self.op_index = int(op_index)
+        super().__init__(
+            f"transient fault in {kernel} kernel (device op #{op_index})"
         )
 
 

@@ -13,7 +13,9 @@ V100 substrate (see DESIGN.md §2): a deterministic analytic simulator with
   against (malloc / h2d / launch kernels);
 * :mod:`~repro.gpusim.unified` — the unified-memory pager with fault groups
   and prefetching (the §4.3 baseline);
-* :mod:`~repro.gpusim.ledger` — per-phase simulated-time accounting.
+* :mod:`~repro.gpusim.ledger` — per-phase simulated-time accounting;
+* :mod:`~repro.gpusim.faults` — seeded fault plans and the injector that
+  replays them against any wrapped device (robustness testing).
 """
 
 from .costmodel import CostModel, DEFAULT_COST_MODEL
@@ -26,6 +28,7 @@ from .device import (
     scaled_host,
 )
 from .engine import GPU
+from .faults import FaultEvent, FaultInjector, FaultPlan, GPUProxy
 from .ledger import TimeLedger
 from .memory import Buffer, DeviceMemoryPool
 from .trace import TraceEvent, TracingGPU
@@ -41,6 +44,10 @@ __all__ = [
     "scaled_device",
     "scaled_host",
     "GPU",
+    "GPUProxy",
+    "FaultPlan",
+    "FaultEvent",
+    "FaultInjector",
     "TimeLedger",
     "Buffer",
     "DeviceMemoryPool",

@@ -11,10 +11,24 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..errors import ConfigurationError
 from .costmodel import CostModel, DEFAULT_COST_MODEL
 from .device import DeviceSpec, HostSpec, V100, XEON_E5_2680
 from .ledger import TimeLedger
 from .memory import Buffer, DeviceMemoryPool
+
+
+def _check_nbytes(nbytes: int, what: str) -> int:
+    """Validate a byte count before it reaches the ledger or the pool.
+
+    A negative count would silently corrupt the byte counters (they are
+    plain accumulators), so it is rejected up front with a
+    :class:`~repro.errors.ReproError` subclass.
+    """
+    nbytes = int(nbytes)
+    if nbytes < 0:
+        raise ConfigurationError(f"{what} byte count must be >= 0, got {nbytes}")
+    return nbytes
 
 
 @dataclass
@@ -44,7 +58,7 @@ class GPU:
     # -- memory --------------------------------------------------------
     def malloc(self, nbytes: int, label: str = "") -> Buffer:
         """Allocate simulated device memory (OOM raises DeviceMemoryError)."""
-        return self.pool.malloc(nbytes, label)
+        return self.pool.malloc(_check_nbytes(nbytes, "malloc"), label)
 
     def free(self, buf: Buffer) -> None:
         self.pool.free(buf)
@@ -59,15 +73,17 @@ class GPU:
     # -- explicit transfers ------------------------------------------------
     def h2d(self, nbytes: int, category: str | None = "transfer") -> None:
         """Charge one host->device DMA of ``nbytes``."""
-        self.ledger.charge(self.cost.transfer_seconds(int(nbytes)), category)
+        nbytes = _check_nbytes(nbytes, "h2d")
+        self.ledger.charge(self.cost.transfer_seconds(nbytes), category)
         self.ledger.count("h2d_transfers")
-        self.ledger.count("bytes_h2d", int(nbytes))
+        self.ledger.count("bytes_h2d", nbytes)
 
     def d2h(self, nbytes: int, category: str | None = "transfer") -> None:
         """Charge one device->host DMA of ``nbytes``."""
-        self.ledger.charge(self.cost.transfer_seconds(int(nbytes)), category)
+        nbytes = _check_nbytes(nbytes, "d2h")
+        self.ledger.charge(self.cost.transfer_seconds(nbytes), category)
         self.ledger.count("d2h_transfers")
-        self.ledger.count("bytes_d2h", int(nbytes))
+        self.ledger.count("bytes_d2h", nbytes)
 
     # -- kernel launches ---------------------------------------------------
     def _launch_overhead(self, from_device: bool) -> None:

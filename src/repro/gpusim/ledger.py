@@ -37,6 +37,20 @@ class TimeLedger:
         if category is not None:
             self.phase_seconds[category] += seconds
 
+    def charge_aside(self, seconds: float, category: str) -> None:
+        """Add ``seconds`` to the total and to ``category`` only, bypassing
+        the phase stack.
+
+        Recovery machinery (:mod:`repro.core.resilient`) books retry
+        backoff here so per-phase breakdowns stay bitwise-comparable with
+        a fault-free run: only the ``category`` bucket (and the total)
+        carry the overhead.
+        """
+        if seconds < 0:
+            raise ValueError("cannot charge negative time")
+        self.total_seconds += seconds
+        self.phase_seconds[category] += seconds
+
     @contextmanager
     def phase(self, name: str):
         """Context manager; time charged inside books to phase ``name``."""

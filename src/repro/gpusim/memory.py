@@ -51,6 +51,17 @@ class DeviceMemoryPool:
     def free_bytes(self) -> int:
         return self.usable_bytes - self.live_bytes
 
+    @property
+    def utilization(self) -> float:
+        """Live bytes as a fraction of usable capacity (0.0 when empty).
+
+        May exceed 1.0 transiently if the reservation grows (e.g. an
+        injected memory-pressure episode) while allocations are live.
+        """
+        if self.usable_bytes <= 0:
+            return 1.0
+        return self.live_bytes / self.usable_bytes
+
     def malloc(self, nbytes: int, label: str = "") -> Buffer:
         """Allocate ``nbytes``; raises :class:`DeviceMemoryError` on OOM."""
         nbytes = int(nbytes)

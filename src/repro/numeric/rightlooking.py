@@ -40,6 +40,9 @@ class NumericStats:
     #: per-level (flops, #columns, #sub-column updates, #search steps) for
     #: kernel charging by the GPU executor
     per_level: list[tuple[int, int, int, int]] = field(default_factory=list)
+    #: columns whose zero/tiny pivot was replaced by the static
+    #: perturbation (recovery rung 3; empty on a healthy run)
+    perturbed_columns: list[int] = field(default_factory=list)
 
     @property
     def total_flops(self) -> int:
@@ -53,6 +56,7 @@ def factorize_in_place(
     *,
     pivot_tolerance: float = 0.0,
     count_search_steps: bool = False,
+    pivot_perturbation: float = 0.0,
 ) -> NumericStats:
     """Run Algorithm 2 in place on the filled CSC matrix ``As``.
 
@@ -74,6 +78,14 @@ def factorize_in_place(
     count_search_steps:
         When true, also accumulate the binary-search probe count a sorted-CSC
         kernel (Algorithm 6) would execute for each searched access.
+    pivot_perturbation:
+        When positive, a numerically zero/tiny pivot is *replaced* by
+        ``±pivot_perturbation`` (keeping the pivot's sign; ``+`` for an
+        exact zero) instead of raising — static pivot perturbation in the
+        SuperLU_DIST tradition.  Perturbed columns are recorded in
+        :attr:`NumericStats.perturbed_columns`; the caller is expected to
+        follow up with iterative refinement.  A *structurally* missing
+        pivot still raises: no perturbation fixes an absent diagonal.
     """
     n = As.n_cols
     indptr, indices, data = As.indptr, As.indices, As.data
@@ -93,7 +105,13 @@ def factorize_in_place(
                 raise SingularMatrixError(j)  # structurally missing pivot
             pivot = float(vals_j[dpos])
             if abs(pivot) <= pivot_tolerance:
-                raise SingularMatrixError(j, pivot)
+                if pivot_perturbation <= 0.0:
+                    raise SingularMatrixError(j, pivot)
+                pivot = (
+                    -pivot_perturbation if pivot < 0.0 else pivot_perturbation
+                )
+                vals_j[dpos] = pivot
+                stats.perturbed_columns.append(j)
             below = slice(dpos + 1, len(rows_j))
             sub_rows = rows_j[below]
             if len(sub_rows):

@@ -10,6 +10,9 @@ runtime shaped for that traffic:
 * :mod:`~repro.serve.scheduler` — bounded request queue with
   backpressure, pattern-batched numeric refactorization, deadlines, and
   dispatch across a pool of simulated devices;
+* :mod:`~repro.serve.breaker` — per-device circuit breakers
+  (closed → open → half-open) that route traffic around failing
+  devices, degrading to the CPU reference path when all are open;
 * :mod:`~repro.serve.metrics` — counters and exact-percentile latency
   histograms exported as plain dicts;
 * :mod:`~repro.serve.service` — the :class:`SolverService` facade
@@ -28,6 +31,7 @@ Quickstart::
     svc.shutdown()
 """
 
+from .breaker import BreakerConfig, CircuitBreaker
 from .cache import AnalysisCache, pattern_key, values_key
 from .loadgen import (
     LoadReport,
@@ -50,6 +54,8 @@ from .scheduler import (
 from .service import ServeConfig, SolverService
 
 __all__ = [
+    "BreakerConfig",
+    "CircuitBreaker",
     "AnalysisCache",
     "pattern_key",
     "values_key",

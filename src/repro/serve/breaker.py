@@ -1,0 +1,107 @@
+"""Per-device circuit breaker (rung 4 of the recovery ladder).
+
+Classic three-state breaker over the virtual clock:
+
+* **closed** — requests flow; consecutive recoverable failures are
+  counted, and reaching ``failure_threshold`` trips the breaker open.
+* **open** — the device is skipped by routing for ``cooldown_s``
+  simulated seconds.
+* **half-open** — after the cooldown one trial batch is admitted; success
+  closes the breaker (and resets the failure count), failure re-opens it
+  for another cooldown.
+
+All transitions are driven by the scheduler's virtual time, so breaker
+behaviour is exactly reproducible run to run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["BreakerConfig", "CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Trip/recovery knobs shared by every device breaker."""
+
+    #: consecutive recoverable failures that open the breaker
+    failure_threshold: int = 3
+    #: simulated seconds an open breaker rejects traffic before probing
+    cooldown_s: float = 0.05
+    #: trial batches admitted while half-open (before a verdict)
+    half_open_trials: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.cooldown_s < 0:
+            raise ValueError("cooldown_s must be >= 0")
+        if self.half_open_trials < 1:
+            raise ValueError("half_open_trials must be >= 1")
+
+
+@dataclass
+class CircuitBreaker:
+    """State machine guarding one device."""
+
+    config: BreakerConfig = field(default_factory=BreakerConfig)
+    state: str = CLOSED
+    consecutive_failures: int = 0
+    #: virtual time at which an open breaker may admit a probe
+    open_until: float = 0.0
+    #: trial batches in flight while half-open
+    trials: int = 0
+    trips: int = 0
+    recoveries: int = 0
+
+    def allow(self, now: float) -> bool:
+        """May a batch be routed to this device at virtual time ``now``?
+
+        An open breaker whose cooldown has elapsed transitions to
+        half-open here (time-driven transition); a half-open breaker
+        admits at most ``half_open_trials`` concurrent probes.
+        """
+        if self.state == OPEN:
+            if now >= self.open_until:
+                self.state = HALF_OPEN
+                self.trials = 0
+            else:
+                return False
+        if self.state == HALF_OPEN:
+            if self.trials >= self.config.half_open_trials:
+                return False
+            self.trials += 1
+            return True
+        return True
+
+    def record_success(self, now: float) -> None:
+        if self.state == HALF_OPEN:
+            self.recoveries += 1
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.trials = 0
+
+    def record_failure(self, now: float) -> None:
+        self.consecutive_failures += 1
+        if self.state == HALF_OPEN or (
+            self.consecutive_failures >= self.config.failure_threshold
+        ):
+            if self.state != OPEN:
+                self.trips += 1
+            self.state = OPEN
+            self.open_until = now + self.config.cooldown_s
+            self.trials = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "open_until": self.open_until,
+            "trips": self.trips,
+            "recoveries": self.recoveries,
+        }

@@ -20,10 +20,21 @@ work on a pool of simulated GPUs:
   absolute deadline is reported as ``timeout``; requests already past
   deadline when their batch starts are shed without consuming numeric
   work.
-* **Retry-once-on-eviction** — if a cached analysis turns out not to
-  match the batch's pattern (stale or poisoned entry), the entry is
-  invalidated, the pattern re-analyzed once, and the batch retried;
-  a second failure surfaces as per-request ``error`` responses.
+* **Retry-on-eviction** — if a cached analysis turns out not to match
+  the batch's pattern (stale or poisoned entry), the entry is
+  invalidated, the pattern re-analyzed, and the batch retried under a
+  configurable :class:`~repro.core.RetryPolicy` (default: one retry,
+  matching the historical retry-once behaviour); exhausting the policy
+  surfaces per-request ``error`` responses.
+* **Circuit breaking + CPU fallback** — a device whose batch fails with
+  a :class:`~repro.errors.RecoverableError` (after the per-operation
+  retries of its :class:`~repro.core.ResilientGPU` wrapper are spent)
+  records a breaker failure; the batch is rerouted to another device
+  within the dispatch retry budget.  When every device is excluded or
+  breaker-open, the batch degrades to the CPU reference path
+  (``preprocess`` → ``symbolic_fill_reference`` →
+  ``factorize_leftlooking``), timed by the cost model's CPU constants
+  on a separate ``cpu_busy_until`` timeline.
 
 Time is *simulated* throughout: each device advances a ``busy_until``
 clock by the simulated seconds its GPU ledger records for the work it
@@ -38,15 +49,21 @@ import numpy as np
 
 from ..core.config import SolverConfig
 from ..core.refactorize import ReusableAnalysis, analyze
+from ..core.resilient import ResilientGPU, RetryPolicy
 from ..errors import (
     DeadlineExceededError,
     QueueFullError,
+    RecoverableError,
     ReproError,
     ServeError,
     SparseFormatError,
 )
-from ..gpusim import GPU
+from ..gpusim import GPU, FaultInjector, FaultPlan
+from ..numeric import factorize_leftlooking, lu_solve_permuted
+from ..preprocess import preprocess
 from ..sparse import CSRMatrix
+from ..symbolic import symbolic_fill_reference
+from .breaker import BreakerConfig, CircuitBreaker
 from .cache import AnalysisCache, pattern_key, values_key
 from .metrics import ServiceMetrics
 
@@ -89,6 +106,8 @@ class SolveResponse:
     batch_size: int = 1
     coalesced: bool = False
     retried: bool = False
+    #: served by the degraded CPU reference path (all devices down)
+    fallback: bool = False
     error: str | None = None
     deadline: float | None = None
 
@@ -119,30 +138,58 @@ class SimulatedDevice:
     gpu: GPU
     busy_until: float = 0.0
     batches: int = 0
+    breaker: CircuitBreaker = field(default_factory=CircuitBreaker)
+    failures: int = 0
 
     def snapshot(self) -> dict:
         return {
             "device_id": self.device_id,
             "busy_until": self.busy_until,
             "batches": self.batches,
+            "failures": self.failures,
             "sim_seconds": self.gpu.ledger.total_seconds,
+            "breaker": self.breaker.snapshot(),
         }
 
 
 class DevicePool:
-    """Fixed pool of simulated devices with least-loaded selection."""
+    """Fixed pool of simulated devices with least-loaded selection.
 
-    def __init__(self, config: SolverConfig, num_devices: int) -> None:
+    Each device GPU is optionally wrapped by a
+    :class:`~repro.gpusim.FaultInjector` (per ``fault_plans``) and — when
+    the solver config carries a resilience policy — a
+    :class:`~repro.core.ResilientGPU`, in that order, so operation
+    retries re-execute the injected path.
+    """
+
+    def __init__(
+        self,
+        config: SolverConfig,
+        num_devices: int,
+        *,
+        breaker: BreakerConfig | None = None,
+        fault_plans: dict[int, FaultPlan] | None = None,
+    ) -> None:
         if num_devices < 1:
             raise ValueError("num_devices must be >= 1")
-        self.devices = [
-            SimulatedDevice(
-                device_id=d,
-                gpu=GPU(spec=config.device, host=config.host,
-                        cost=config.cost_model),
+        breaker = breaker or BreakerConfig()
+        fault_plans = fault_plans or {}
+        self.devices = []
+        for d in range(num_devices):
+            gpu: GPU = GPU(spec=config.device, host=config.host,
+                           cost=config.cost_model)
+            plan = fault_plans.get(d)
+            if plan is not None:
+                gpu = FaultInjector(gpu, plan)
+            if config.resilience is not None:
+                gpu = ResilientGPU(gpu, config.resilience.op_retry)
+            self.devices.append(
+                SimulatedDevice(
+                    device_id=d,
+                    gpu=gpu,
+                    breaker=CircuitBreaker(config=breaker),
+                )
             )
-            for d in range(num_devices)
-        ]
 
     def __len__(self) -> int:
         return len(self.devices)
@@ -177,6 +224,11 @@ class BatchScheduler:
         *,
         num_devices: int = 1,
         max_queue_depth: int = 64,
+        breaker: BreakerConfig | None = None,
+        dispatch_retry: RetryPolicy | None = None,
+        refactorize_retry: RetryPolicy | None = None,
+        cpu_fallback: bool = True,
+        fault_plans: dict[int, FaultPlan] | None = None,
     ) -> None:
         if max_queue_depth < 1:
             raise ValueError("max_queue_depth must be >= 1")
@@ -184,7 +236,21 @@ class BatchScheduler:
         self.cache = cache
         self.metrics = metrics
         self.max_queue_depth = int(max_queue_depth)
-        self.pool = DevicePool(config, num_devices)
+        self.pool = DevicePool(
+            config, num_devices, breaker=breaker, fault_plans=fault_plans
+        )
+        #: batch-level reroute budget across devices (rung 4)
+        self.dispatch_retry = dispatch_retry or RetryPolicy(
+            max_attempts=3, base_delay_s=1e-4, backoff=2.0
+        )
+        #: stale-cache-entry rebuild budget; the default (two attempts,
+        #: zero backoff) reproduces the historical retry-once semantics
+        self.refactorize_retry = refactorize_retry or RetryPolicy(
+            max_attempts=2, base_delay_s=0.0
+        )
+        self.cpu_fallback = bool(cpu_fallback)
+        #: virtual timeline of the degraded CPU path
+        self.cpu_busy_until = 0.0
         self._queue: list[SolveRequest] = []
         #: pattern key -> device that holds/built its analysis
         self._affinity: dict[str, int] = {}
@@ -247,11 +313,24 @@ class BatchScheduler:
         return responses
 
     # ------------------------------------------------------------------
-    def _device_for(self, batch: _Batch) -> SimulatedDevice:
+    def _device_for(
+        self, batch: _Batch, now: float, exclude: set[int] = frozenset()
+    ) -> SimulatedDevice | None:
+        """Route a batch: affinity device first (when its analysis is
+        resident), else least-loaded — skipping excluded devices and any
+        whose circuit breaker refuses traffic.  ``None`` when no device
+        will take the batch (degrade to the CPU path)."""
+        order = sorted(
+            (d for d in self.pool.devices if d.device_id not in exclude),
+            key=lambda d: (d.busy_until, d.device_id),
+        )
         dev_id = self._affinity.get(batch.key)
         if dev_id is not None and batch.key in self.cache:
-            return self.pool.devices[dev_id]
-        return self.pool.least_loaded()
+            order.sort(key=lambda d: d.device_id != dev_id)  # stable
+        for device in order:
+            if device.breaker.allow(now):
+                return device
+        return None
 
     def _analyze_on(
         self, device: SimulatedDevice, a: CSRMatrix
@@ -266,8 +345,57 @@ class BatchScheduler:
     def _dispatch_batch(
         self, batch: _Batch, now: float
     ) -> list[SolveResponse]:
-        device = self._device_for(batch)
+        """Run a batch with rung-4 semantics: device faults trip the
+        breaker and reroute the whole batch (it is re-runnable — solves
+        are pure) until the dispatch retry budget or the device pool is
+        exhausted, then degrade to the CPU reference path."""
+        tried: set[int] = set()
+        last_error: RecoverableError | None = None
+        for attempt in range(1, self.dispatch_retry.max_attempts + 1):
+            device = self._device_for(batch, now, exclude=tried)
+            if device is None:
+                break
+            try:
+                return self._run_batch_on(device, batch, now)
+            except RecoverableError as exc:
+                last_error = exc
+                tried.add(device.device_id)
+                self._device_failed(device, exc, now)
+                if attempt < self.dispatch_retry.max_attempts:
+                    # rerouted batch restarts after a breather
+                    now += self.dispatch_retry.delay(attempt)
+        return self._dispatch_fallback(batch, now, last_error)
+
+    def _device_failed(
+        self, device: SimulatedDevice, exc: RecoverableError, now: float
+    ) -> None:
+        device.failures += 1
+        self.metrics.count("device_failures")
+        trips_before = device.breaker.trips
+        device.breaker.record_failure(now)
+        if device.breaker.trips > trips_before:
+            self.metrics.count("breaker_trips")
+
+    def _run_batch_on(
+        self, device: SimulatedDevice, batch: _Batch, now: float
+    ) -> list[SolveResponse]:
         device.batches += 1
+        ledger0 = device.gpu.ledger.total_seconds
+        try:
+            responses = self._execute_batch(device, batch, now)
+        except RecoverableError:
+            # the device burned simulated time before failing; its
+            # timeline advances by exactly the ledger seconds consumed
+            device.busy_until = max(device.busy_until, now) + (
+                device.gpu.ledger.total_seconds - ledger0
+            )
+            raise
+        device.breaker.record_success(device.busy_until)
+        return responses
+
+    def _execute_batch(
+        self, device: SimulatedDevice, batch: _Batch, now: float
+    ) -> list[SolveResponse]:
         t = max(device.busy_until, now)
         size = len(batch.requests)
         self.metrics.observe("batch_size", float(size))
@@ -311,6 +439,9 @@ class BatchScheduler:
                 result, numeric_s, retried_now = self._refactorize(
                     device, batch, analysis, viable[0].a)
                 retried = retried or retried_now
+            except RecoverableError:
+                # device fault: handled at batch level (breaker + reroute)
+                raise
             except ReproError as exc:
                 for r in reqs:
                     self.metrics.count("errors")
@@ -344,28 +475,134 @@ class BatchScheduler:
         return responses
 
     def _refactorize(self, device, batch, analysis, a):
-        """Numeric-only pass with the retry-once-on-bad-entry path."""
+        """Numeric-only pass with the retry-on-bad-entry path.
+
+        A stale/poisoned cache entry (``SparseFormatError``) is purged
+        and rebuilt under ``refactorize_retry``; exhausting the policy
+        propagates the error (surfaced as per-request ``error``
+        responses, never an infinite rebuild loop).
+        """
+        policy = self.refactorize_retry
         t0 = device.gpu.ledger.total_seconds
-        try:
-            result = analysis.refactorize(a)
-        except SparseFormatError:
-            # stale/poisoned cache entry: purge, rebuild once, retry
-            self.cache.invalidate(batch.key)
-            self.metrics.count("retries")
-            analysis, _ = self._analyze_on(device, a)
-            self.cache.put(batch.key, analysis)
-            self._affinity[batch.key] = device.device_id
-            result = analysis.refactorize(a)  # second failure propagates
-            numeric_s = device.gpu.ledger.total_seconds - t0
-            self.metrics.charge("numeric", result.sim_seconds)
-            return result, numeric_s, True
-        numeric_s = device.gpu.ledger.total_seconds - t0
+        backoff = 0.0
+        retried = False
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                result = analysis.refactorize(a)
+                break
+            except SparseFormatError:
+                self.cache.invalidate(batch.key)
+                if attempt >= policy.max_attempts:
+                    raise
+                self.metrics.count("retries")
+                backoff += policy.delay(attempt)
+                analysis, _ = self._analyze_on(device, a)
+                self.cache.put(batch.key, analysis)
+                self._affinity[batch.key] = device.device_id
+                retried = True
+        numeric_s = device.gpu.ledger.total_seconds - t0 + backoff
         self.metrics.charge("numeric", result.sim_seconds)
-        return result, numeric_s, False
+        return result, numeric_s, retried
+
+    def _dispatch_fallback(
+        self,
+        batch: _Batch,
+        now: float,
+        last_error: RecoverableError | None = None,
+    ) -> list[SolveResponse]:
+        """Degraded path: every device is tripped or exhausted.
+
+        With ``cpu_fallback`` enabled the batch runs the host reference
+        pipeline (``preprocess`` → ``symbolic_fill_reference`` →
+        ``factorize_leftlooking``), timed with the cost model's CPU
+        constants on the dedicated ``cpu_busy_until`` timeline; responses
+        carry ``fallback=True``.  Otherwise the device failure surfaces
+        as per-request errors.
+        """
+        size = len(batch.requests)
+        if not self.cpu_fallback:
+            msg = (
+                f"{type(last_error).__name__}: {last_error}"
+                if last_error is not None
+                else "no device available (all circuit breakers open)"
+            )
+            responses = []
+            for r in batch.requests:
+                self.metrics.count("errors")
+                responses.append(self._finish(
+                    r, "error", None, now, False, None, size, False,
+                    error=msg))
+            return responses
+
+        self.metrics.count("cpu_fallbacks")
+        cfg = self.config
+        cost, host = cfg.cost_model, cfg.host
+        t = max(self.cpu_busy_until, now)
+        responses: list[SolveResponse] = []
+
+        by_values: dict[str, list[SolveRequest]] = {}
+        for req in batch.requests:
+            by_values.setdefault(values_key(req.a), []).append(req)
+
+        for reqs in by_values.values():
+            viable = [
+                r for r in reqs if r.deadline is None or r.deadline >= t
+            ]
+            if not viable:
+                for r in reqs:
+                    self.metrics.count("timeouts")
+                    self.metrics.count("shed")
+                    responses.append(self._finish(
+                        r, "timeout", None, t, False, None, size, False,
+                        fallback=True))
+                continue
+            try:
+                pre = preprocess(viable[0].a, cfg.preprocess)
+                filled = symbolic_fill_reference(pre.matrix)
+                t += cost.cpu_traversal_seconds(filled.nnz, host)
+                L, U = factorize_leftlooking(pre.matrix, filled)
+                # update flops bounded by column-of-L x row-of-U products
+                lcol = np.diff(L.indptr) - 1  # unit diagonal excluded
+                urow = np.bincount(U.indices, minlength=U.n_rows)
+                t += cost.cpu_numeric_seconds(
+                    2 * int(lcol @ urow), host)
+            except RecoverableError:
+                raise  # CPU path never raises these; defensive
+            except ReproError as exc:
+                for r in reqs:
+                    self.metrics.count("errors")
+                    responses.append(self._finish(
+                        r, "error", None, t, False, None, size, False,
+                        fallback=True,
+                        error=f"{type(exc).__name__}: {exc}"))
+                continue
+            for i, r in enumerate(reqs):
+                x = lu_solve_permuted(
+                    L, U, r.b,
+                    row_perm=pre.row_perm, col_perm=pre.col_perm,
+                    row_scale=pre.row_scale, col_scale=pre.col_scale,
+                )
+                # the two triangular sweeps touch each factor entry once
+                t += cost.cpu_numeric_seconds(L.nnz + U.nnz, host)
+                if r.deadline is not None and t > r.deadline:
+                    self.metrics.count("timeouts")
+                    responses.append(self._finish(
+                        r, "timeout", None, t, False, None, size, False,
+                        fallback=True))
+                    continue
+                if i > 0:
+                    self.metrics.count("coalesced")
+                self.metrics.count("completed")
+                self.metrics.count("fallback_completed")
+                responses.append(self._finish(
+                    r, "ok", x, t, False, None, size, False,
+                    coalesced=i > 0, fallback=True))
+        self.cpu_busy_until = t
+        return responses
 
     def _finish(
         self, req, status, x, t, hit, device, size, retried, *,
-        coalesced=False, error=None,
+        coalesced=False, fallback=False, error=None,
     ) -> SolveResponse:
         latency = t - req.arrival
         self.metrics.observe("latency", latency)
@@ -378,10 +615,11 @@ class BatchScheduler:
             finish=t,
             latency=latency,
             cache_hit=hit,
-            device_id=device.device_id,
+            device_id=device.device_id if device is not None else -1,
             batch_size=size,
             coalesced=coalesced,
             retried=retried,
+            fallback=fallback,
             error=error,
             deadline=req.deadline,
         )

@@ -29,8 +29,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.config import SolverConfig
+from ..core.resilient import RetryPolicy
 from ..errors import ServiceShutdownError
+from ..gpusim import FaultPlan
 from ..sparse import CSRMatrix
+from .breaker import BreakerConfig
 from .cache import AnalysisCache
 from .metrics import ServiceMetrics, format_metrics
 from .scheduler import BatchScheduler, SolveResponse
@@ -52,6 +55,17 @@ class ServeConfig:
     #: relative deadline (simulated seconds) applied when a submit names
     #: none; ``None`` disables default timeouts
     default_timeout: float | None = None
+    #: per-device circuit-breaker knobs (rung 4 of the recovery ladder)
+    breaker: BreakerConfig = field(default_factory=BreakerConfig)
+    #: batch reroute budget when a device fails recoverably
+    dispatch_retry: RetryPolicy | None = None
+    #: stale-cache-entry rebuild budget (``None`` = historical
+    #: retry-once semantics)
+    refactorize_retry: RetryPolicy | None = None
+    #: degrade to the CPU reference path when every device is down
+    cpu_fallback: bool = True
+    #: device id -> seeded fault plan, wrapped around that device's GPU
+    fault_plans: dict[int, FaultPlan] | None = None
 
     def __post_init__(self) -> None:
         if self.num_devices < 1:
@@ -62,6 +76,12 @@ class ServeConfig:
             raise ValueError("max_queue_depth must be >= 1")
         if self.default_timeout is not None and self.default_timeout <= 0:
             raise ValueError("default_timeout must be positive")
+        if self.fault_plans is not None:
+            for dev in self.fault_plans:
+                if not (0 <= dev < self.num_devices):
+                    raise ValueError(
+                        f"fault plan for unknown device {dev}"
+                    )
 
 
 class SolverService:
@@ -77,6 +97,11 @@ class SolverService:
             self.metrics,
             num_devices=self.config.num_devices,
             max_queue_depth=self.config.max_queue_depth,
+            breaker=self.config.breaker,
+            dispatch_retry=self.config.dispatch_retry,
+            refactorize_retry=self.config.refactorize_retry,
+            cpu_fallback=self.config.cpu_fallback,
+            fault_plans=self.config.fault_plans,
         )
         self._clock = 0.0
         self._next_id = 0
@@ -203,6 +228,11 @@ class SolverService:
         snap = self.metrics.snapshot()
         snap["cache"] = self.cache.stats()
         snap["devices"] = self.scheduler.pool.snapshot()
+        snap["breakers"] = {
+            d.device_id: d.breaker.snapshot()
+            for d in self.scheduler.pool.devices
+        }
+        snap["cpu_busy_until"] = self.scheduler.cpu_busy_until
         snap["queue_depth"] = self.scheduler.pending
         snap["clock"] = self._clock
         snap["closed"] = self._closed

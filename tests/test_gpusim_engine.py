@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import DeviceMemoryError
+from repro.errors import ConfigurationError, DeviceMemoryError, ReproError
 from repro.gpusim import GPU, scaled_device
 
 
@@ -25,6 +25,34 @@ class TestMemory:
     def test_would_fit(self, gpu):
         assert gpu.would_fit(1024 * 1024)
         assert not gpu.would_fit(1024 * 1024 + 1)
+
+
+class TestByteValidation:
+    """Negative byte counts are rejected with a ReproError before any
+    time or counters are booked (they would corrupt the accumulators)."""
+
+    @pytest.mark.parametrize("op", ["h2d", "d2h"])
+    def test_negative_transfer_rejected(self, gpu, op):
+        with pytest.raises(ConfigurationError, match=op):
+            getattr(gpu, op)(-1)
+        assert gpu.ledger.total_seconds == 0
+        assert gpu.ledger.get_count(f"{op}_transfers") == 0
+
+    def test_negative_malloc_rejected(self, gpu):
+        with pytest.raises(ConfigurationError, match="malloc"):
+            gpu.malloc(-1, "scratch")
+        assert gpu.free_bytes == gpu.pool.capacity_bytes
+
+    def test_validation_error_is_repro_error(self, gpu):
+        # callers catching the library base class see these too
+        with pytest.raises(ReproError):
+            gpu.h2d(-7)
+
+    def test_zero_bytes_still_allowed(self, gpu):
+        gpu.h2d(0)
+        gpu.d2h(0)
+        assert gpu.ledger.get_count("h2d_transfers") == 1
+        assert gpu.ledger.get_count("d2h_transfers") == 1
 
 
 class TestTransfers:

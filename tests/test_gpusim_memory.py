@@ -59,6 +59,37 @@ class TestReservation:
             DeviceMemoryPool(capacity_bytes=10, reserved_bytes=10)
 
 
+class TestUtilization:
+    def test_empty_pool_is_zero(self):
+        pool = DeviceMemoryPool(capacity_bytes=100)
+        assert pool.utilization == 0.0
+
+    def test_tracks_live_fraction_of_usable(self):
+        pool = DeviceMemoryPool(capacity_bytes=100, reserved_bytes=20)
+        b = pool.malloc(40)
+        assert pool.utilization == pytest.approx(40 / 80)
+        pool.free(b)
+        assert pool.utilization == 0.0
+
+    def test_full_pool_is_one(self):
+        pool = DeviceMemoryPool(capacity_bytes=100)
+        pool.malloc(100)
+        assert pool.utilization == pytest.approx(1.0)
+
+    def test_pressure_reservation_can_push_past_one(self):
+        # an injected memory-pressure episode grows reserved_bytes while
+        # allocations are live; utilization reports > 1.0 transiently
+        pool = DeviceMemoryPool(capacity_bytes=100)
+        pool.malloc(60)
+        pool.reserved_bytes += 50
+        assert pool.utilization == pytest.approx(60 / 50)
+
+    def test_fully_reserved_pool_reports_saturated(self):
+        pool = DeviceMemoryPool(capacity_bytes=100)
+        pool.reserved_bytes = 100
+        assert pool.utilization == 1.0
+
+
 class TestAccounting:
     def test_peak_tracking(self):
         pool = DeviceMemoryPool(capacity_bytes=100)
