@@ -34,7 +34,7 @@ from ..preprocess import preprocess
 from ..symbolic import symbolic_fill_reference
 from ..workloads import MatrixSpec
 from .report import format_table
-from .runner import MatrixArtifacts, prepare
+from .runner import prepare
 
 
 # ---------------------------------------------------------------------------
@@ -397,7 +397,6 @@ def run_robustness(
     specs, factors: tuple[float, ...] = (0.5, 1.0, 2.0)
 ) -> RobustnessResult:
     """Re-run a Fig. 4 subset with all rate constants scaled by ``f``."""
-    from .fig4 import run_fig4
     from ..gpusim import DEFAULT_COST_MODEL
 
     correlations, orderings = [], []
@@ -415,8 +414,6 @@ def run_robustness(
         rows = []
         for spec in specs:
             art = prepare(spec)
-            cfg = SolverConfig(device=art.device, host=art.host,
-                               cost_model=cm)
             from .runner import run_glu3, run_outofcore
 
             glu = run_glu3(art, cost_model=cm)

@@ -12,8 +12,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from ..core import SolverConfig, outofcore_symbolic
 from ..gpusim import GPU, scaled_device, scaled_host
 from ..preprocess import preprocess

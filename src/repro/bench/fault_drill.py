@@ -82,6 +82,25 @@ class DrillReport:
             r.outcome in (RECOVERED, DEGRADED) for r in self.results
         )
 
+    def perf_record(self) -> dict:
+        """Machine-readable record for the perf-snapshot suite: per-scenario
+        fault/recovery counters (exact), simulated seconds (banded) and
+        outcome strings (exact labels)."""
+        counters: dict = {"scenarios": len(self.results)}
+        timings: dict = {}
+        labels: dict = {
+            "deterministic": str(self.deterministic).lower(),
+            "all_handled": str(self.all_handled).lower(),
+        }
+        for r in self.results:
+            key = r.name.replace("-", "_")
+            counters[f"{key}_faults_injected"] = int(r.faults_injected)
+            counters[f"{key}_recovery_actions"] = int(r.recovery_actions)
+            timings[f"{key}_faulted_seconds"] = float(r.faulted_seconds)
+            timings[f"{key}_baseline_seconds"] = float(r.baseline_seconds)
+            labels[f"{key}_outcome"] = r.outcome
+        return {"counters": counters, "timings": timings, "labels": labels}
+
 
 def _drill_matrix(n: int, seed: int):
     return circuit_like(n, 5.0, seed=seed)

@@ -11,8 +11,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from ..symbolic import FrontierProfile, frontier_profile, symbolic_fill_reference
 from ..workloads import FIG3_SPECS, MatrixSpec
 from .report import format_series

@@ -20,6 +20,12 @@ Commands
               OOM storm, singular workload, dead device) and verify
               every one recovers or degrades to the CPU fallback, with
               deterministic event logs (see docs/faults.md).
+``perf``      benchmark-snapshot subsystem: ``perf run`` captures a
+              schema-versioned ``BENCH_*.json`` snapshot of the curated
+              scenario suite, ``perf compare`` gates it against the
+              committed baseline with per-metric tolerances, and
+              ``perf update-baseline`` rewrites the baseline after an
+              intentional perf change (see docs/benchmarking.md).
 """
 
 from __future__ import annotations
@@ -189,6 +195,62 @@ def cmd_fault_drill(args) -> int:
     return run_fault_drill_cli(smoke=args.smoke, seed=args.seed)
 
 
+def cmd_perf(args) -> int:
+    from pathlib import Path
+
+    from .perf import (
+        DEFAULT_BASELINE,
+        PerfSnapshot,
+        TolerancePolicy,
+        compare_snapshots,
+        format_compare,
+        run_suite,
+        snapshot_filename,
+    )
+
+    if args.perf_command == "run":
+        snap = run_suite(smoke=args.smoke)
+        out = Path(args.out) if args.out else Path("benchmarks") / "results"
+        if out.suffix != ".json":
+            out = out / snapshot_filename(snap.created_at)
+        path = snap.write(out)
+        print(f"perf suite ({snap.mode}): {len(snap.scenarios)} scenarios "
+              f"-> {path}")
+        headline = ("total_seconds", "sim_seconds", "service_seconds")
+        for rec in snap.scenarios:
+            total = next(
+                (rec.timings[k] for k in headline if k in rec.timings),
+                sum(rec.timings.values()),
+            )
+            print(f"  {rec.name:<28s} {len(rec.counters)} counters, "
+                  f"{len(rec.timings)} timings, sim {total * 1e3:.3f} ms")
+        return 0
+
+    baseline_path = Path(args.baseline)
+    if args.perf_command == "update-baseline":
+        snap = run_suite(smoke=args.smoke)
+        path = snap.write(baseline_path)
+        print(f"baseline ({snap.mode}) rewritten: {path}")
+        print("commit this file to make the new numbers the gate.")
+        return 0
+
+    # compare
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path} "
+              f"(expected {DEFAULT_BASELINE}); run "
+              "`repro perf update-baseline` first", file=sys.stderr)
+        return 2
+    baseline = PerfSnapshot.load(baseline_path)
+    if args.snapshot:
+        current = PerfSnapshot.load(args.snapshot)
+    else:
+        current = run_suite(smoke=baseline.mode == "smoke")
+    policy = TolerancePolicy(timing_tolerance_pct=args.tolerance_pct)
+    report = compare_snapshots(current, baseline, policy)
+    print(format_compare(report))
+    return 0 if report.passed else 1
+
+
 def cmd_bench(args) -> int:
     if args.experiment == "all":
         from .bench.experiments import main as exp_main
@@ -301,6 +363,50 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--seed", type=int, default=0,
                     help="fault-plan seed (same seed -> identical drill)")
     sp.set_defaults(fn=cmd_fault_drill)
+
+    sp = sub.add_parser(
+        "perf",
+        help="benchmark snapshots + regression gate "
+             "(run | compare | update-baseline)",
+    )
+    perf_sub = sp.add_subparsers(dest="perf_command", required=True)
+    default_baseline = "benchmarks/baselines/perf_baseline.json"
+
+    pp = perf_sub.add_parser(
+        "run", help="execute the scenario suite and write BENCH_*.json"
+    )
+    pp.add_argument("--smoke", action="store_true",
+                    help="CI-sized scenarios (what the perf gate runs)")
+    pp.add_argument("--out",
+                    help="output file (.json) or directory "
+                         "(default: benchmarks/results/)")
+    pp.set_defaults(fn=cmd_perf)
+
+    pp = perf_sub.add_parser(
+        "compare",
+        help="gate a snapshot against the committed baseline "
+             "(exit 1 on regression)",
+    )
+    pp.add_argument("snapshot", nargs="?",
+                    help="snapshot file to check; omitted = run the "
+                         "suite fresh in the baseline's mode")
+    pp.add_argument("--baseline", default=default_baseline,
+                    help="baseline snapshot path")
+    pp.add_argument("--tolerance-pct", type=float, default=10.0,
+                    help="relative band for simulated timings "
+                         "(counters are always exact)")
+    pp.set_defaults(fn=cmd_perf)
+
+    pp = perf_sub.add_parser(
+        "update-baseline",
+        help="re-run the suite and overwrite the committed baseline "
+             "(for intentional perf changes)",
+    )
+    pp.add_argument("--smoke", action="store_true",
+                    help="record a smoke-mode baseline (the CI gate mode)")
+    pp.add_argument("--baseline", default=default_baseline,
+                    help="baseline snapshot path to rewrite")
+    pp.set_defaults(fn=cmd_perf)
     return p
 
 

@@ -18,8 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..preprocess.btf import BTFResult, block_triangular_form
-from ..sparse import COOMatrix, CSRMatrix, invert_permutation
-from ..sparse.types import INDEX_DTYPE
+from ..sparse import COOMatrix, CSRMatrix
 from .config import SolverConfig
 from .pipeline import EndToEndLU, EndToEndResult
 

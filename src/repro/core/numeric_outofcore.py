@@ -25,7 +25,7 @@ import numpy as np
 
 from ..gpusim import GPU
 from ..graph import LevelSchedule, sub_column_counts
-from ..sparse import CSCMatrix, CSRMatrix
+from ..sparse import CSRMatrix
 from ..sparse.types import INDEX_DTYPE
 from .config import SolverConfig
 from .numeric_gpu import NumericResult, factorize_with_pivot_recovery

@@ -35,7 +35,6 @@ from ..sparse import CSRMatrix
 from ..symbolic import (
     chunk_blocks,
     frontier_counts,
-    split_point_by_frontier,
     symbolic_fill_reference,
     traversal_edges_per_row,
 )

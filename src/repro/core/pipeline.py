@@ -136,6 +136,45 @@ class EndToEndResult:
         """New nonzeros introduced by factorization (beyond A's pattern)."""
         return int(self.filled.nnz - self.pre.matrix.nnz)
 
+    def perf_record(self) -> dict:
+        """Machine-readable execution record for the perf-snapshot suite.
+
+        Splits into ``counters`` (deterministic integers, compared exactly
+        by the regression gate), ``timings`` (simulated seconds and ratios,
+        compared within a tolerance band) and ``labels`` (exact-match
+        strings such as the chosen numeric format).
+        """
+        lg = self.gpu.ledger
+        bd = self.breakdown()
+        counters = {
+            "n": int(self.pre.matrix.n_rows),
+            "nnz": int(self.pre.matrix.nnz),
+            "filled_nnz": int(self.filled.nnz),
+            "fill_ins": int(self.fill_ins),
+            "levels": int(self.schedule.num_levels),
+            "symbolic_iterations": int(self.symbolic.iterations),
+            "chunk_plans": len(self.symbolic.plans),
+            "max_parallel_columns": int(self.numeric.max_parallel_columns),
+            "kernel_launches": lg.get_count("kernel_launches"),
+            "child_kernel_launches": lg.get_count("child_kernel_launches"),
+            "bytes_h2d": lg.get_count("bytes_h2d"),
+            "bytes_d2h": lg.get_count("bytes_d2h"),
+            "pool_peak_bytes": int(self.gpu.pool.peak_bytes),
+            "pool_total_allocs": int(self.gpu.pool.total_allocs),
+        }
+        timings = {
+            "total_seconds": float(bd.total),
+            "symbolic_seconds": float(bd.symbolic),
+            "levelize_seconds": float(bd.levelize),
+            "numeric_seconds": float(bd.numeric),
+            "pool_peak_utilization": float(self.gpu.pool.peak_utilization),
+        }
+        labels = {
+            "numeric_format": str(self.numeric.data_format),
+            "pipeline": self.label,
+        }
+        return {"counters": counters, "timings": timings, "labels": labels}
+
     def report(self) -> str:
         """Human-readable execution summary (one run, all phases)."""
         from ..numeric import pivot_growth

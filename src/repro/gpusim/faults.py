@@ -33,7 +33,7 @@ Injected events are recorded both on :attr:`FaultInjector.events` and as
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

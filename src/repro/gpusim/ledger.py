@@ -86,11 +86,20 @@ class TimeLedger:
             self.counters[k] += v
 
     def snapshot(self) -> dict:
-        """Plain-dict view for reports / serialization."""
+        """Plain-dict view for reports / serialization.
+
+        Phase and counter keys come back sorted so two snapshots of
+        equivalent ledgers serialize byte-identically (the perf-gate
+        determinism contract).
+        """
         return {
             "total_seconds": self.total_seconds,
-            "phases": dict(self.phase_seconds),
-            "counters": dict(self.counters),
+            "phases": {
+                k: self.phase_seconds[k] for k in sorted(self.phase_seconds)
+            },
+            "counters": {
+                k: self.counters[k] for k in sorted(self.counters)
+            },
         }
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic

@@ -62,6 +62,13 @@ class DeviceMemoryPool:
             return 1.0
         return self.live_bytes / self.usable_bytes
 
+    @property
+    def peak_utilization(self) -> float:
+        """High-water mark as a fraction of usable capacity."""
+        if self.usable_bytes <= 0:
+            return 1.0
+        return self.peak_bytes / self.usable_bytes
+
     def malloc(self, nbytes: int, label: str = "") -> Buffer:
         """Allocate ``nbytes``; raises :class:`DeviceMemoryError` on OOM."""
         nbytes = int(nbytes)
@@ -87,3 +94,15 @@ class DeviceMemoryPool:
 
     def live_buffers(self) -> list[Buffer]:
         return list(self._live.values())
+
+    def snapshot(self) -> dict:
+        """Plain-dict export for perf snapshots and reports."""
+        return {
+            "capacity_bytes": int(self.capacity_bytes),
+            "reserved_bytes": int(self.reserved_bytes),
+            "live_bytes": int(self.live_bytes),
+            "peak_bytes": int(self.peak_bytes),
+            "total_allocs": int(self.total_allocs),
+            "utilization": float(self.utilization),
+            "peak_utilization": float(self.peak_utilization),
+        }

@@ -142,3 +142,18 @@ class TracingGPU(GPU):
         return sum(
             ev.duration_s for ev in self.events if ev.category == category
         )
+
+    def trace_summary(self) -> dict:
+        """Aggregate view of the recorded timeline (perf-snapshot hook):
+        event counts and busy seconds per category, in sorted key order so
+        serialized summaries are canonical."""
+        counts = self.event_counts()
+        return {
+            "total_events": len(self.events),
+            "events_by_category": {
+                cat: counts[cat] for cat in sorted(counts)
+            },
+            "busy_seconds_by_category": {
+                cat: self.busy_seconds(cat) for cat in sorted(counts)
+            },
+        }

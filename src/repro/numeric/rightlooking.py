@@ -87,7 +87,6 @@ def factorize_in_place(
         follow up with iterative refinement.  A *structurally* missing
         pivot still raises: no perturbation fixes an absent diagonal.
     """
-    n = As.n_cols
     indptr, indices, data = As.indptr, As.indices, As.data
     stats = NumericStats()
 

@@ -1,0 +1,53 @@
+"""Performance snapshots and the regression gate (``repro perf``).
+
+The subsystem has three parts:
+
+* :mod:`repro.perf.snapshot` — schema-versioned ``BENCH_*.json``
+  snapshots (exact counters, tolerance-banded timings, exact labels,
+  environment provenance);
+* :mod:`repro.perf.suite` — the curated deterministic scenario suite
+  (end-to-end registry runs, out-of-core symbolic chunking, serve
+  replay, fault drill);
+* :mod:`repro.perf.compare` — the comparator that gates CI against the
+  committed baseline (``benchmarks/baselines/perf_baseline.json``).
+
+See ``docs/benchmarking.md`` for the schema, the tolerance policy, and
+the update-baseline workflow.
+"""
+
+from .compare import (
+    DEFAULT_BASELINE,
+    CompareReport,
+    TolerancePolicy,
+    Violation,
+    compare_snapshots,
+    format_compare,
+)
+from .snapshot import (
+    SCHEMA_VERSION,
+    PerfSnapshot,
+    ScenarioRecord,
+    capture_environment,
+    snapshot_filename,
+    utc_timestamp,
+)
+from .suite import SCENARIO_NAMES, run_scenario, run_suite, scenario_names
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SCENARIO_NAMES",
+    "DEFAULT_BASELINE",
+    "PerfSnapshot",
+    "ScenarioRecord",
+    "TolerancePolicy",
+    "Violation",
+    "CompareReport",
+    "capture_environment",
+    "compare_snapshots",
+    "format_compare",
+    "run_scenario",
+    "run_suite",
+    "scenario_names",
+    "snapshot_filename",
+    "utc_timestamp",
+]

@@ -1,0 +1,229 @@
+"""Baseline comparison: the regression gate's pass/fail logic.
+
+Tolerance policy (see ``docs/benchmarking.md``):
+
+* **counters** and **labels** are compared exactly.  Every simulator
+  input is seeded, so a drifted fill-in count, chunk count or kernel
+  tally is a genuine behavioural change — exactly the class of
+  regression the gate exists to catch.
+* **timings** (simulated seconds and derived ratios) pass inside a
+  relative band of ``timing_tolerance_pct`` around the baseline value,
+  with an absolute floor of ``timing_abs_floor_seconds`` so a zero
+  baseline does not demand bit-equality of a near-zero current value.
+* **structure** must match: same schema version, same mode, same
+  scenario set, same metric keys.  A new metric is a baseline update,
+  not a silent pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .snapshot import PerfSnapshot, ScenarioRecord
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "TolerancePolicy",
+    "Violation",
+    "CompareReport",
+    "compare_snapshots",
+    "format_compare",
+]
+
+#: Where the committed baseline lives, relative to the repo root.
+DEFAULT_BASELINE = Path("benchmarks") / "baselines" / "perf_baseline.json"
+
+
+@dataclass(frozen=True)
+class TolerancePolicy:
+    """Per-metric-family comparison rules."""
+
+    timing_tolerance_pct: float = 10.0
+    timing_abs_floor_seconds: float = 1e-9
+
+    def timing_band(self, baseline: float) -> float:
+        """Allowed absolute deviation for a timing with this baseline."""
+        return max(
+            self.timing_abs_floor_seconds,
+            abs(baseline) * self.timing_tolerance_pct / 100.0,
+        )
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed check."""
+
+    scenario: str
+    metric: str
+    kind: str  # "counter" | "timing" | "label" | "structure"
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.scenario} :: {self.metric}: {self.detail}"
+
+
+@dataclass
+class CompareReport:
+    """Outcome of one snapshot-vs-baseline comparison."""
+
+    baseline_mode: str
+    current_mode: str
+    policy: TolerancePolicy
+    violations: list[Violation] = field(default_factory=list)
+    #: per-scenario counts of checks that ran: (counters, timings, labels)
+    checked: dict[str, tuple[int, int, int]] = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    @property
+    def total_checks(self) -> int:
+        return sum(sum(c) for c in self.checked.values())
+
+
+def _compare_scenario(
+    current: ScenarioRecord,
+    baseline: ScenarioRecord,
+    policy: TolerancePolicy,
+    report: CompareReport,
+) -> None:
+    name = baseline.name
+    violations = report.violations
+
+    for family, kind in (("counters", "counter"), ("labels", "label")):
+        cur: dict = getattr(current, family)
+        base: dict = getattr(baseline, family)
+        for metric in sorted(set(cur) | set(base)):
+            if metric not in cur:
+                violations.append(
+                    Violation(name, metric, "structure",
+                              f"{kind} missing from current snapshot")
+                )
+            elif metric not in base:
+                violations.append(
+                    Violation(name, metric, "structure",
+                              f"{kind} not in baseline "
+                              "(run `repro perf update-baseline`)")
+                )
+            elif cur[metric] != base[metric]:
+                violations.append(
+                    Violation(name, metric, kind,
+                              f"{base[metric]!r} -> {cur[metric]!r} "
+                              "(exact match required)")
+                )
+
+    for metric in sorted(set(current.timings) | set(baseline.timings)):
+        if metric not in current.timings:
+            violations.append(
+                Violation(name, metric, "structure",
+                          "timing missing from current snapshot")
+            )
+            continue
+        if metric not in baseline.timings:
+            violations.append(
+                Violation(name, metric, "structure",
+                          "timing not in baseline "
+                          "(run `repro perf update-baseline`)")
+            )
+            continue
+        base_v = baseline.timings[metric]
+        cur_v = current.timings[metric]
+        band = policy.timing_band(base_v)
+        if abs(cur_v - base_v) > band:
+            if base_v != 0:
+                drift = 100.0 * (cur_v - base_v) / abs(base_v)
+                drift_s = f"{drift:+.1f}%"
+            else:
+                drift_s = f"{cur_v - base_v:+.3e}s"
+            violations.append(
+                Violation(
+                    name, metric, "timing",
+                    f"{base_v:.9f} -> {cur_v:.9f} ({drift_s} exceeds "
+                    f"the ±{policy.timing_tolerance_pct:g}% band)",
+                )
+            )
+
+    report.checked[name] = (
+        len(set(current.counters) | set(baseline.counters)),
+        len(set(current.timings) | set(baseline.timings)),
+        len(set(current.labels) | set(baseline.labels)),
+    )
+
+
+def compare_snapshots(
+    current: PerfSnapshot,
+    baseline: PerfSnapshot,
+    policy: TolerancePolicy | None = None,
+) -> CompareReport:
+    """Check ``current`` against ``baseline`` under ``policy``."""
+    policy = policy or TolerancePolicy()
+    report = CompareReport(
+        baseline_mode=baseline.mode,
+        current_mode=current.mode,
+        policy=policy,
+    )
+    if current.schema_version != baseline.schema_version:
+        report.violations.append(
+            Violation(
+                "<suite>", "schema_version", "structure",
+                f"baseline v{baseline.schema_version} vs "
+                f"current v{current.schema_version}",
+            )
+        )
+        return report
+    if current.mode != baseline.mode:
+        report.violations.append(
+            Violation(
+                "<suite>", "mode", "structure",
+                f"baseline ran {baseline.mode!r} but current ran "
+                f"{current.mode!r}; snapshots are only comparable "
+                "within one mode",
+            )
+        )
+        return report
+
+    cur_names = set(current.scenario_names)
+    base_names = set(baseline.scenario_names)
+    for name in sorted(base_names - cur_names):
+        report.violations.append(
+            Violation(name, "<scenario>", "structure",
+                      "scenario missing from current snapshot")
+        )
+    for name in sorted(cur_names - base_names):
+        report.violations.append(
+            Violation(name, "<scenario>", "structure",
+                      "scenario not in baseline "
+                      "(run `repro perf update-baseline`)")
+        )
+    for name in sorted(cur_names & base_names):
+        _compare_scenario(
+            current.scenario(name), baseline.scenario(name), policy, report
+        )
+    return report
+
+
+def format_compare(report: CompareReport) -> str:
+    """Human-readable pass/fail rendering."""
+    lines = [
+        f"perf compare: current ({report.current_mode}) vs baseline "
+        f"({report.baseline_mode}), timing band "
+        f"±{report.policy.timing_tolerance_pct:g}%"
+    ]
+    failed_scenarios = {v.scenario for v in report.violations}
+    for name in sorted(report.checked):
+        nc, nt, nl = report.checked[name]
+        status = "FAIL" if name in failed_scenarios else "ok"
+        lines.append(
+            f"  [{status:>4s}] {name:<28s} "
+            f"{nc} counters exact, {nt} timings in band, {nl} labels"
+        )
+    for violation in report.violations:
+        lines.append(f"  VIOLATION {violation}")
+    verdict = "PASS" if report.passed else "FAIL"
+    lines.append(
+        f"result: {verdict} ({report.total_checks} checks, "
+        f"{len(report.violations)} violation(s))"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,204 @@
+"""Schema-versioned performance snapshots.
+
+A :class:`PerfSnapshot` is the unit of record of the regression gate: one
+suite execution, serialized to ``BENCH_<timestamp>.json``.  Every scenario
+contributes a :class:`ScenarioRecord` with three metric families:
+
+* ``counters`` — deterministic integers (fill-ins, chunk counts, kernel
+  launches, bytes moved).  The comparator matches these **exactly**: the
+  simulator is seeded end to end, so any drift is a real behavioural
+  change.
+* ``timings`` — simulated seconds and derived ratios (hit rate, speedup).
+  Compared within a percentage band, because cost-model retuning may move
+  them legitimately by small amounts.
+* ``labels`` — exact-match strings (numeric format decision, drill
+  outcomes).
+
+``created_at`` and ``environment`` are provenance only; the comparator and
+the determinism contract (two runs on one tree produce identical
+snapshots) both ignore them — see :meth:`PerfSnapshot.identity`.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ScenarioRecord",
+    "PerfSnapshot",
+    "capture_environment",
+    "utc_timestamp",
+    "snapshot_filename",
+]
+
+#: Bump on any change to the serialized layout; the comparator refuses to
+#: compare snapshots of different schema versions.
+SCHEMA_VERSION = 1
+
+#: Simulated-seconds resolution stored in snapshots (nanoseconds): enough
+#: to keep every deterministic digit while staying repr-stable.
+_TIMING_DECIMALS = 9
+
+
+def _round_timings(timings: dict[str, float]) -> dict[str, float]:
+    return {
+        k: round(float(v), _TIMING_DECIMALS)
+        for k, v in sorted(timings.items())
+    }
+
+
+def utc_timestamp() -> str:
+    """ISO-8601 UTC timestamp (snapshot provenance, compact form)."""
+    return datetime.now(timezone.utc).strftime("%Y%m%dT%H%M%SZ")
+
+
+def snapshot_filename(timestamp: str | None = None) -> str:
+    """Canonical on-disk name: ``BENCH_<timestamp>.json``."""
+    return f"BENCH_{timestamp or utc_timestamp()}.json"
+
+
+def capture_environment() -> dict[str, str]:
+    """Provenance metadata (ignored by the comparator)."""
+    import numpy
+    import scipy
+
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "numpy": str(numpy.__version__),
+        "scipy": str(scipy.__version__),
+    }
+
+
+@dataclass(frozen=True)
+class ScenarioRecord:
+    """Metrics captured from one suite scenario."""
+
+    name: str
+    counters: dict[str, int] = field(default_factory=dict)
+    timings: dict[str, float] = field(default_factory=dict)
+    labels: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def from_parts(cls, name: str, *parts: dict[str, Any]) -> ScenarioRecord:
+        """Merge ``{"counters": ..., "timings": ..., "labels": ...}`` dicts
+        (the shape every ``perf_record()`` hook returns) into one record.
+        Later parts win on key collisions."""
+        counters: dict[str, int] = {}
+        timings: dict[str, float] = {}
+        labels: dict[str, str] = {}
+        for part in parts:
+            counters.update(part.get("counters", {}))
+            timings.update(part.get("timings", {}))
+            labels.update(part.get("labels", {}))
+        return cls(
+            name=name,
+            counters={k: int(v) for k, v in sorted(counters.items())},
+            timings=_round_timings(timings),
+            labels={k: str(v) for k, v in sorted(labels.items())},
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "counters": {k: int(v) for k, v in sorted(self.counters.items())},
+            "timings": _round_timings(self.timings),
+            "labels": {k: str(v) for k, v in sorted(self.labels.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, name: str, data: dict[str, Any]) -> ScenarioRecord:
+        return cls(
+            name=name,
+            counters={k: int(v) for k, v in data.get("counters", {}).items()},
+            timings={
+                k: float(v) for k, v in data.get("timings", {}).items()
+            },
+            labels={k: str(v) for k, v in data.get("labels", {}).items()},
+        )
+
+
+@dataclass(frozen=True)
+class PerfSnapshot:
+    """One suite execution: scenarios plus provenance."""
+
+    mode: str  # "smoke" | "full"
+    scenarios: tuple[ScenarioRecord, ...]
+    created_at: str = field(default_factory=utc_timestamp)
+    environment: dict[str, str] = field(default_factory=capture_environment)
+    schema_version: int = SCHEMA_VERSION
+
+    def scenario(self, name: str) -> ScenarioRecord:
+        for rec in self.scenarios:
+            if rec.name == name:
+                return rec
+        raise KeyError(f"no scenario named {name!r} in snapshot")
+
+    @property
+    def scenario_names(self) -> tuple[str, ...]:
+        return tuple(rec.name for rec in self.scenarios)
+
+    def identity(self) -> dict[str, Any]:
+        """The deterministic portion: everything except timestamp and
+        environment.  Two ``repro perf run`` invocations on the same tree
+        must produce equal identities."""
+        return {
+            "schema_version": self.schema_version,
+            "mode": self.mode,
+            "scenarios": {
+                rec.name: rec.to_dict()
+                for rec in sorted(self.scenarios, key=lambda r: r.name)
+            },
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        out = self.identity()
+        out["created_at"] = self.created_at
+        out["environment"] = dict(sorted(self.environment.items()))
+        return out
+
+    def dumps(self) -> str:
+        """Canonical JSON: sorted keys, 2-space indent, trailing newline."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def write(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.dumps())
+        return path
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> PerfSnapshot:
+        version = int(data.get("schema_version", -1))
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"snapshot schema version {version} unsupported "
+                f"(this build reads version {SCHEMA_VERSION})"
+            )
+        scenarios = tuple(
+            ScenarioRecord.from_dict(name, rec)
+            for name, rec in sorted(data.get("scenarios", {}).items())
+        )
+        return cls(
+            mode=str(data.get("mode", "full")),
+            scenarios=scenarios,
+            created_at=str(data.get("created_at", "")),
+            environment={
+                k: str(v) for k, v in data.get("environment", {}).items()
+            },
+            schema_version=version,
+        )
+
+    @classmethod
+    def loads(cls, text: str) -> PerfSnapshot:
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def load(cls, path: str | Path) -> PerfSnapshot:
+        return cls.loads(Path(path).read_text())

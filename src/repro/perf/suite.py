@@ -1,0 +1,200 @@
+"""The curated perf-snapshot scenario suite.
+
+Four scenario families, each seeded and therefore bit-deterministic:
+
+* ``e2e/<abbr>`` — the full pipeline (preprocess → out-of-core symbolic →
+  levelize → numeric) on workload-registry matrices, run on a
+  :class:`~repro.gpusim.TracingGPU` so the snapshot also captures
+  trace-event counts.  Smoke mode shrinks the registry instances so the
+  CI gate stays fast; full mode uses the real scaled sizes.
+* ``symbolic/outofcore_chunking`` — the two-stage chunked symbolic phase
+  alone on a memory-starved device (chunk plans, iterations, split
+  point).
+* ``serve/replay`` — a repeated-pattern trace through the solver service
+  (cache hit rate, latency percentiles, speedup vs. cold solves).
+* ``faults/drill`` — the four-scenario recovery-ladder drill (fault and
+  recovery-action counts, outcomes, overheads).
+
+``run_suite`` executes them all and returns a
+:class:`~repro.perf.snapshot.PerfSnapshot`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from functools import partial
+from typing import Any, Callable
+
+from ..core import EndToEndLU, SolverConfig
+from ..core.outofcore import outofcore_symbolic
+from ..gpusim import GPU, TracingGPU, scaled_device, scaled_host
+from ..serve import ServeConfig, run_load, synthesize_trace
+from ..symbolic import symbolic_fill_reference
+from ..workloads import circuit_like
+from ..workloads.registry import by_abbr
+from .snapshot import PerfSnapshot, ScenarioRecord
+
+__all__ = ["SCENARIO_NAMES", "run_scenario", "run_suite", "scenario_names"]
+
+#: Registry abbreviations exercised end-to-end, by mode.  GO (a dense FEM
+#: pattern) only runs in full mode: it dominates suite runtime.
+_E2E_SMOKE = ("OT2", "R15")
+_E2E_FULL = ("OT2", "R15", "GO")
+
+#: Smoke-mode shrink of the registry instances (rows / out-of-core chunk
+#: rows).  Full mode uses the registry's real scaled sizes.
+_SMOKE_N = 160
+_SMOKE_CHUNK_ROWS = 32
+
+
+def _trace_part(gpu: TracingGPU) -> dict[str, Any]:
+    """Fold a :meth:`TracingGPU.trace_summary` into perf-record shape."""
+    summary = gpu.trace_summary()
+    counters: dict[str, int] = {
+        "trace_events_total": int(summary["total_events"]),
+    }
+    for cat, count in summary["events_by_category"].items():
+        counters[f"trace_events_{cat}"] = int(count)
+    timings = {
+        f"trace_busy_seconds_{cat}": float(sec)
+        for cat, sec in summary["busy_seconds_by_category"].items()
+    }
+    return {"counters": counters, "timings": timings}
+
+
+def _e2e_scenario(abbr: str, smoke: bool) -> ScenarioRecord:
+    spec = by_abbr(abbr)
+    chunk_rows = _SMOKE_CHUNK_ROWS if smoke else 128
+    if smoke:
+        spec = dataclasses.replace(spec, n_scaled=_SMOKE_N)
+    a = spec.generate()
+    filled = symbolic_fill_reference(a)
+    device = spec.device_for_symbolic(a, filled.nnz, chunk_rows=chunk_rows)
+    cfg = SolverConfig(device=device, host=spec.host_for(device))
+    gpu = TracingGPU(spec=cfg.device, host=cfg.host, cost=cfg.cost_model)
+    res = EndToEndLU(cfg).factorize(a, gpu=gpu)
+    split = res.symbolic.split_point
+    extra = {
+        "counters": {"split_point": -1 if split is None else int(split)},
+    }
+    return ScenarioRecord.from_parts(
+        f"e2e/{abbr}",
+        res.perf_record(),
+        _trace_part(gpu),
+        extra,
+    )
+
+
+def _symbolic_scenario(smoke: bool) -> ScenarioRecord:
+    n = 220 if smoke else 420
+    a = circuit_like(n, 6.0, seed=11)
+    need = SolverConfig().scratch_bytes_per_row(n) * n
+    device = scaled_device(max(need // 3, 1 << 20))
+    cfg = SolverConfig(
+        device=device,
+        host=scaled_host(8 * device.memory_bytes),
+    )
+    gpu = GPU(spec=cfg.device, host=cfg.host, cost=cfg.cost_model)
+    sym = outofcore_symbolic(gpu, a, cfg, dynamic=True, keep_on_device=False)
+    ledger = gpu.ledger
+    split = sym.split_point
+    part = {
+        "counters": {
+            "n": int(n),
+            "nnz": int(a.nnz),
+            "filled_nnz": int(sym.filled.nnz),
+            "iterations": int(sym.iterations),
+            "chunk_plans": len(sym.plans),
+            "split_point": -1 if split is None else int(split),
+            "chunk_size_min": min(p.chunk_size for p in sym.plans),
+            "chunk_size_max": max(p.chunk_size for p in sym.plans),
+            "kernel_launches": ledger.get_count("kernel_launches"),
+            "bytes_h2d": ledger.get_count("bytes_h2d"),
+            "bytes_d2h": ledger.get_count("bytes_d2h"),
+            "pool_peak_bytes": int(gpu.pool.peak_bytes),
+            "pool_total_allocs": int(gpu.pool.total_allocs),
+        },
+        "timings": {
+            "sim_seconds": float(sym.sim_seconds),
+            "symbolic_seconds": float(ledger.seconds("symbolic")),
+            "pool_peak_utilization": float(gpu.pool.peak_utilization),
+        },
+    }
+    return ScenarioRecord.from_parts("symbolic/outofcore_chunking", part)
+
+
+def _serve_scenario(smoke: bool) -> ScenarioRecord:
+    if smoke:
+        patterns, requests, n = 2, 24, 120
+    else:
+        patterns, requests, n = 3, 72, 200
+    trace = synthesize_trace(
+        num_patterns=patterns,
+        num_requests=requests,
+        n=n,
+        seed=0,
+    )
+    cfg = ServeConfig(
+        solver=SolverConfig(),
+        cache_capacity_bytes=64 << 20,
+    )
+    report = run_load(trace, cfg, flush_every=6)
+    return ScenarioRecord.from_parts("serve/replay", report.perf_record())
+
+
+def _faults_scenario(smoke: bool) -> ScenarioRecord:
+    from ..bench.fault_drill import run_fault_drill
+
+    report = run_fault_drill(smoke=smoke, seed=0)
+    return ScenarioRecord.from_parts("faults/drill", report.perf_record())
+
+
+def _scenarios(smoke: bool) -> dict[str, Callable[[], ScenarioRecord]]:
+    """Ordered scenario registry for one mode."""
+    runners: dict[str, Callable[[], ScenarioRecord]] = {}
+    for abbr in _E2E_SMOKE if smoke else _E2E_FULL:
+        runners[f"e2e/{abbr}"] = partial(_e2e_scenario, abbr, smoke)
+    runners["symbolic/outofcore_chunking"] = partial(
+        _symbolic_scenario, smoke
+    )
+    runners["serve/replay"] = partial(_serve_scenario, smoke)
+    runners["faults/drill"] = partial(_faults_scenario, smoke)
+    return runners
+
+
+def scenario_names(*, smoke: bool = False) -> tuple[str, ...]:
+    return tuple(_scenarios(smoke))
+
+
+#: The smoke-mode scenario set (what the CI perf gate runs).
+SCENARIO_NAMES: tuple[str, ...] = scenario_names(smoke=True)
+
+
+def run_scenario(name: str, *, smoke: bool = False) -> ScenarioRecord:
+    """Run a single scenario by name (mainly for tests)."""
+    runners = _scenarios(smoke)
+    if name not in runners:
+        known = ", ".join(runners)
+        raise KeyError(f"unknown scenario {name!r} (known: {known})")
+    return runners[name]()
+
+
+def run_suite(
+    *,
+    smoke: bool = False,
+    only: tuple[str, ...] | None = None,
+) -> PerfSnapshot:
+    """Execute the scenario suite and capture a snapshot.
+
+    ``only`` restricts execution to a subset of scenario names — useful
+    interactively, but subset snapshots will fail structural comparison
+    against a full baseline.
+    """
+    runners = _scenarios(smoke)
+    if only is not None:
+        unknown = [name for name in only if name not in runners]
+        if unknown:
+            raise KeyError(f"unknown scenarios: {', '.join(unknown)}")
+        runners = {k: v for k, v in runners.items() if k in only}
+    records = tuple(runner() for runner in runners.values())
+    return PerfSnapshot(mode="smoke" if smoke else "full", scenarios=records)

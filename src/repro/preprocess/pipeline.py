@@ -9,7 +9,7 @@ transformations at solve time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Literal
 
 import numpy as np
@@ -19,7 +19,7 @@ from ..sparse.types import INDEX_DTYPE
 from .matching import zero_free_diagonal_permutation
 from .mindegree import minimum_degree_ordering
 from .rcm import rcm_ordering
-from .scaling import Equilibration, boost_small_pivots, equilibrate
+from .scaling import boost_small_pivots, equilibrate
 
 OrderingName = Literal["natural", "rcm", "mindegree"]
 

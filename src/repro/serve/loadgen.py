@@ -132,6 +132,40 @@ class LoadReport:
             return float("inf")
         return self.completed / self.service_seconds
 
+    def perf_record(self) -> dict:
+        """Machine-readable record for the perf-snapshot suite: exact
+        request/cache counters plus tolerance-banded simulated timings.
+        Non-finite ratios (empty replays) are recorded as 0.0 so the
+        snapshot stays strict-JSON serializable."""
+        import math
+
+        cache = self.stats.get("cache", {}) if self.stats else {}
+        counters = {
+            "requests": int(self.requests),
+            "completed": int(self.completed),
+            "timeouts": int(self.timeouts),
+            "errors": int(self.errors),
+            "rejected": int(self.rejected),
+            "cache_hits": int(cache.get("hits", 0)),
+            "cache_misses": int(cache.get("misses", 0)),
+            "cache_evictions": int(cache.get("evictions", 0)),
+            "cache_entries": int(cache.get("entries", 0)),
+        }
+
+        def _finite(x: float) -> float:
+            return float(x) if math.isfinite(x) else 0.0
+
+        timings = {
+            "hit_rate": _finite(self.hit_rate),
+            "service_seconds": _finite(self.service_seconds),
+            "baseline_seconds": _finite(self.baseline_seconds),
+            "speedup": _finite(self.speedup),
+            "throughput": _finite(self.throughput),
+            "latency_p50": _finite(self.latency_p50),
+            "latency_p99": _finite(self.latency_p99),
+        }
+        return {"counters": counters, "timings": timings, "labels": {}}
+
 
 def replay(
     service: SolverService,

@@ -21,7 +21,7 @@ from typing import Literal
 
 import numpy as np
 
-from ..gpusim import DeviceSpec, HostSpec, V100, scaled_device, scaled_host
+from ..gpusim import DeviceSpec, HostSpec, scaled_device, scaled_host
 from ..sparse import CSRMatrix, replace_zero_diagonal
 from .generators import circuit_like, fem_like, mesh_like
 

@@ -26,7 +26,6 @@ def cfg(mem=8 << 20, **kw):
 
 def block_diag_matrix(sizes, seed=0):
     """Dense block-diagonal + a lower coupling entry between blocks."""
-    rng = np.random.default_rng(seed)
     n = sum(sizes)
     d = np.zeros((n, n))
     s = 0

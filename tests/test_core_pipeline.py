@@ -5,11 +5,11 @@ import pytest
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
-from repro import EndToEndLU, SolverConfig, factorize, solve
+from repro import SolverConfig, factorize, solve
 from repro.errors import DeviceMemoryError
 from repro.gpusim import scaled_device, scaled_host
 from repro.preprocess import PreprocessOptions
-from repro.sparse import CSRMatrix, residual_norm, to_scipy_csr
+from repro.sparse import residual_norm, to_scipy_csr
 from repro.workloads import circuit_like, fem_like
 
 from helpers import random_dense

@@ -2,13 +2,11 @@
 multi-RHS at the result level, and cross-feature composition."""
 
 import numpy as np
-import pytest
 
 from repro import SolverConfig, factorize
 from repro.core import analyze, solve_gpu
 from repro.core.trisolve_gpu import _triangular_levels
 from repro.gpusim import GPU, scaled_device, scaled_host
-from repro.graph import DependencyGraph, kahn_levels
 from repro.numeric import (
     iterative_refinement,
     lu_solve_multi,
@@ -97,7 +95,7 @@ class TestComposition:
     def test_solve_gpu_rejects_nothing_but_charges_phases(self):
         gpu = GPU(spec=scaled_device(4 << 20), host=scaled_host(32 << 20))
         eye = CSCMatrix.identity(4)
-        out = solve_gpu(gpu, eye, eye, np.ones(4), cfg(4 << 20))
+        solve_gpu(gpu, eye, eye, np.ones(4), cfg(4 << 20))
         assert gpu.ledger.seconds("solve") > 0
         assert gpu.ledger.get_count("bytes_h2d") > 0
         assert gpu.ledger.get_count("bytes_d2h") > 0

@@ -7,7 +7,6 @@ from repro import SolverConfig, factorize
 from repro.gpusim import scaled_device, scaled_host
 from repro.workloads import circuit_like, mesh_like
 
-from helpers import random_dense
 
 
 def cfg(mem=8 << 20, **kw):

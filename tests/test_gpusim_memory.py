@@ -94,7 +94,7 @@ class TestAccounting:
     def test_peak_tracking(self):
         pool = DeviceMemoryPool(capacity_bytes=100)
         a = pool.malloc(40)
-        b = pool.malloc(30)
+        pool.malloc(30)
         pool.free(a)
         pool.malloc(10)
         assert pool.peak_bytes == 70

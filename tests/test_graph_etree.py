@@ -30,12 +30,6 @@ class TestStructure:
         tree = elimination_tree(filled)
         tree.validate()
         for j in range(filled.n_rows):
-            rows_below = [
-                int(i)
-                for i in range(j + 1, filled.n_rows)
-                if filled.get(i, j) != 0
-                or any(filled.row(i)[0] == j)  # structural check
-            ]
             # direct structural definition
             struct_below = [
                 i for i in range(j + 1, filled.n_rows)

@@ -18,7 +18,6 @@ from repro.sparse import CSRMatrix, residual_norm
 from repro.symbolic import symbolic_fill_reference
 from repro.workloads import circuit_like, tridiagonal
 
-from helpers import random_dense
 
 
 def cfg(mem=8 << 20, **kw):

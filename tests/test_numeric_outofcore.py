@@ -1,6 +1,5 @@
 """Out-of-core numeric factorization: streamed segments, identical factors."""
 
-import numpy as np
 import pytest
 
 from repro.core import (

@@ -1,0 +1,135 @@
+"""Comparator tolerance policy: exact counters, banded timings,
+structural checks."""
+
+from repro.perf import (
+    PerfSnapshot,
+    ScenarioRecord,
+    TolerancePolicy,
+    compare_snapshots,
+    format_compare,
+)
+
+
+def snap(counters=None, timings=None, labels=None, *, mode="smoke",
+         name="s", schema_version=None):
+    rec = ScenarioRecord.from_parts(
+        name,
+        {
+            "counters": counters or {},
+            "timings": timings or {},
+            "labels": labels or {},
+        },
+    )
+    kwargs = {}
+    if schema_version is not None:
+        kwargs["schema_version"] = schema_version
+    return PerfSnapshot(mode=mode, scenarios=(rec,), **kwargs)
+
+
+class TestCounterAndLabelChecks:
+    def test_identical_passes(self):
+        base = snap({"fill_ins": 10}, {"t": 1.0}, {"fmt": "csr"})
+        report = compare_snapshots(base, base)
+        assert report.passed
+        assert report.total_checks == 3
+
+    def test_exact_counter_mismatch_fails(self):
+        base = snap({"fill_ins": 10})
+        cur = snap({"fill_ins": 11})
+        report = compare_snapshots(cur, base)
+        assert not report.passed
+        (v,) = report.violations
+        assert v.kind == "counter" and v.metric == "fill_ins"
+        assert "exact match required" in v.detail
+
+    def test_label_mismatch_fails(self):
+        report = compare_snapshots(
+            snap(labels={"fmt": "csc"}), snap(labels={"fmt": "csr"})
+        )
+        assert [v.kind for v in report.violations] == ["label"]
+
+    def test_metric_missing_from_current_is_structural(self):
+        report = compare_snapshots(snap(), snap({"fill_ins": 10}))
+        (v,) = report.violations
+        assert v.kind == "structure" and "missing" in v.detail
+
+    def test_new_metric_needs_baseline_update(self):
+        report = compare_snapshots(snap({"fill_ins": 10}), snap())
+        (v,) = report.violations
+        assert v.kind == "structure"
+        assert "update-baseline" in v.detail
+
+
+class TestTimingBand:
+    def test_in_band_drift_passes(self):
+        base = snap(timings={"t": 1.0})
+        cur = snap(timings={"t": 1.05})  # +5% inside the ±10% band
+        assert compare_snapshots(cur, base).passed
+
+    def test_out_of_band_drift_fails(self):
+        base = snap(timings={"t": 1.0})
+        cur = snap(timings={"t": 1.25})  # +25%
+        report = compare_snapshots(cur, base)
+        (v,) = report.violations
+        assert v.kind == "timing" and "+25.0%" in v.detail
+
+    def test_band_is_symmetric(self):
+        base = snap(timings={"t": 1.0})
+        assert not compare_snapshots(snap(timings={"t": 0.75}), base).passed
+        assert compare_snapshots(snap(timings={"t": 0.95}), base).passed
+
+    def test_custom_tolerance(self):
+        base = snap(timings={"t": 1.0})
+        cur = snap(timings={"t": 1.05})
+        tight = TolerancePolicy(timing_tolerance_pct=1.0)
+        assert not compare_snapshots(cur, base, tight).passed
+
+    def test_zero_baseline_uses_absolute_floor(self):
+        base = snap(timings={"t": 0.0})
+        assert compare_snapshots(snap(timings={"t": 5e-10}), base).passed
+        assert not compare_snapshots(snap(timings={"t": 2e-9}), base).passed
+
+    def test_timing_band_values(self):
+        policy = TolerancePolicy()
+        assert policy.timing_band(2.0) == 0.2
+        assert policy.timing_band(0.0) == policy.timing_abs_floor_seconds
+
+
+class TestStructuralChecks:
+    def test_mode_mismatch_fails_fast(self):
+        report = compare_snapshots(snap(mode="full"), snap(mode="smoke"))
+        (v,) = report.violations
+        assert v.metric == "mode" and v.kind == "structure"
+
+    def test_schema_version_mismatch_fails_fast(self):
+        report = compare_snapshots(
+            snap(schema_version=1), snap(schema_version=1)
+        )
+        assert report.passed
+        # forged version object (from_dict would refuse to load it)
+        report = compare_snapshots(
+            snap(schema_version=2), snap(schema_version=1)
+        )
+        (v,) = report.violations
+        assert v.metric == "schema_version"
+
+    def test_scenario_set_mismatch(self):
+        base = snap({"x": 1}, name="a")
+        cur = snap({"x": 1}, name="b")
+        report = compare_snapshots(cur, base)
+        kinds = sorted((v.scenario, v.kind) for v in report.violations)
+        assert kinds == [("a", "structure"), ("b", "structure")]
+
+
+class TestFormatting:
+    def test_format_pass(self):
+        base = snap({"x": 1}, {"t": 1.0})
+        text = format_compare(compare_snapshots(base, base))
+        assert "result: PASS" in text
+        assert "[  ok]" in text
+
+    def test_format_fail_lists_violations(self):
+        report = compare_snapshots(snap({"x": 2}), snap({"x": 1}))
+        text = format_compare(report)
+        assert "result: FAIL" in text
+        assert "VIOLATION" in text and "x" in text

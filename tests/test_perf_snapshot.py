@@ -1,0 +1,127 @@
+"""Perf snapshot schema: construction, canonical JSON, round-trip."""
+
+import json
+
+import pytest
+
+from repro.perf import (
+    SCHEMA_VERSION,
+    PerfSnapshot,
+    ScenarioRecord,
+    snapshot_filename,
+    utc_timestamp,
+)
+
+
+def make_record(name="e2e/X"):
+    return ScenarioRecord.from_parts(
+        name,
+        {
+            "counters": {"fill_ins": 42, "kernel_launches": 7},
+            "timings": {"total_seconds": 0.001234567891234},
+            "labels": {"numeric_format": "csr"},
+        },
+    )
+
+
+def make_snapshot(mode="smoke", names=("a", "b")):
+    return PerfSnapshot(
+        mode=mode,
+        scenarios=tuple(make_record(n) for n in names),
+    )
+
+
+class TestScenarioRecord:
+    def test_from_parts_merges_families(self):
+        rec = ScenarioRecord.from_parts(
+            "s",
+            {"counters": {"x": 1}, "timings": {"t": 0.5}},
+            {"counters": {"y": 2}, "labels": {"fmt": "csr"}},
+        )
+        assert rec.counters == {"x": 1, "y": 2}
+        assert rec.timings == {"t": 0.5}
+        assert rec.labels == {"fmt": "csr"}
+
+    def test_from_parts_later_parts_win(self):
+        rec = ScenarioRecord.from_parts(
+            "s", {"counters": {"x": 1}}, {"counters": {"x": 9}}
+        )
+        assert rec.counters == {"x": 9}
+
+    def test_values_coerced_to_family_types(self):
+        rec = ScenarioRecord.from_parts(
+            "s",
+            {
+                "counters": {"n": 10.0},
+                "timings": {"t": 1},
+                "labels": {"ok": True},
+            },
+        )
+        assert rec.counters["n"] == 10 and isinstance(rec.counters["n"], int)
+        assert isinstance(rec.timings["t"], float)
+        assert rec.labels["ok"] == "True"
+
+    def test_timings_rounded_to_nanoseconds(self):
+        rec = ScenarioRecord.from_parts(
+            "s", {"timings": {"t": 0.123456789123456}}
+        )
+        assert rec.timings["t"] == 0.123456789
+
+    def test_dict_round_trip(self):
+        rec = make_record()
+        back = ScenarioRecord.from_dict(rec.name, rec.to_dict())
+        assert back == rec
+
+
+class TestPerfSnapshot:
+    def test_json_round_trip_preserves_identity(self):
+        snap = make_snapshot()
+        back = PerfSnapshot.loads(snap.dumps())
+        assert back.identity() == snap.identity()
+        assert back.created_at == snap.created_at
+        assert back.environment == snap.environment
+        assert back.scenario("a") == snap.scenario("a")
+
+    def test_dumps_is_canonical(self):
+        snap = make_snapshot()
+        text = snap.dumps()
+        assert text.endswith("\n")
+        # reserializing a parsed snapshot reproduces the exact bytes
+        assert PerfSnapshot.loads(text).dumps() == text
+        data = json.loads(text)
+        assert list(data) == sorted(data)
+
+    def test_identity_excludes_provenance(self):
+        snap = make_snapshot()
+        ident = snap.identity()
+        assert "created_at" not in ident
+        assert "environment" not in ident
+        assert ident["schema_version"] == SCHEMA_VERSION
+        assert ident["mode"] == "smoke"
+
+    def test_scenario_lookup(self):
+        snap = make_snapshot(names=("a", "b"))
+        assert snap.scenario_names == ("a", "b")
+        assert snap.scenario("b").name == "b"
+        with pytest.raises(KeyError):
+            snap.scenario("nope")
+
+    def test_unknown_schema_version_rejected(self):
+        data = make_snapshot().to_dict()
+        data["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema version"):
+            PerfSnapshot.from_dict(data)
+
+    def test_write_and_load(self, tmp_path):
+        snap = make_snapshot()
+        path = snap.write(tmp_path / "sub" / "snap.json")
+        assert path.exists()
+        assert PerfSnapshot.load(path).identity() == snap.identity()
+
+
+def test_snapshot_filename_format():
+    name = snapshot_filename("20260805T120000Z")
+    assert name == "BENCH_20260805T120000Z.json"
+    ts = utc_timestamp()
+    assert len(ts) == 16 and ts.endswith("Z") and "T" in ts
+    assert snapshot_filename().startswith("BENCH_")

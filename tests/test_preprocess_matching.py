@@ -68,10 +68,6 @@ class TestZeroFreeDiagonal:
     def test_prefers_large_entries(self):
         """Greedy pass should avoid a numerically-zero diagonal when a
         swap fixes it."""
-        d = np.array([
-            [0.0, 5.0],
-            [5.0, 4.0],
-        ])
         # both diagonals structurally present under swap; (0,0) is 0.0
         a = CSRMatrix.from_dense(np.array([[1e-30, 5.0], [5.0, 4.0]]))
         perm = zero_free_diagonal_permutation(a, prefer_large=True)

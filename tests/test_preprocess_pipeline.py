@@ -9,7 +9,7 @@ from repro.preprocess import (
     equilibrate,
     preprocess,
 )
-from repro.sparse import CSRMatrix, permute, scale
+from repro.sparse import CSRMatrix
 
 from helpers import random_dense
 

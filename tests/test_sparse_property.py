@@ -3,7 +3,7 @@
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
-from repro.sparse import COOMatrix, CSRMatrix, invert_permutation, permute
+from repro.sparse import COOMatrix, invert_permutation, permute
 
 
 @st.composite

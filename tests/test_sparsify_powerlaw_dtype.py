@@ -8,7 +8,7 @@ from repro.graph import (
     kahn_levels,
     sparsify_for_levels,
 )
-from repro.sparse import CSRMatrix, pattern_stats, permute
+from repro.sparse import CSRMatrix
 from repro.symbolic import symbolic_fill_reference
 from repro.workloads import TABLE4, by_abbr, circuit_like, powerlaw_like
 

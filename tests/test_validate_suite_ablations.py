@@ -2,14 +2,12 @@
 
 import json
 
-import numpy as np
 import pytest
 
 from repro import SolverConfig, factorize
 from repro.gpusim import scaled_device, scaled_host
 from repro.validate import check_factorization
 from repro.workloads import by_abbr, export_suite, load_manifest
-from repro.workloads.registry import MatrixSpec
 
 
 def cfg(mem=8 << 20):
@@ -59,7 +57,7 @@ class TestValidate:
 class TestSuiteExport:
     def test_export_and_manifest(self, tmp_path):
         specs = (by_abbr("OT2"), by_abbr("MI"))
-        manifest_path = export_suite(tmp_path, specs)
+        export_suite(tmp_path, specs)
         manifest = load_manifest(tmp_path)
         assert len(manifest) == 2
         for entry in manifest:
