@@ -1,0 +1,89 @@
+"""Transfer/compute overlap demo: the copy engines earn their keep.
+
+Runs the end-to-end pipeline on a transfer-bound out-of-core instance
+(a dense FEM pattern on a device sized so both the symbolic output and
+the numeric segment window must stream), once serially and once with
+``SolverConfig(overlap=True)`` — the :mod:`repro.streams` subsystem's
+double-buffered chunk pipeline and dual copy engines.  Shows:
+
+1. fill structure and factors are bitwise-identical (overlap only moves
+   simulated time, never results);
+2. end-to-end simulated seconds drop substantially;
+3. the per-engine utilization / overlap-efficiency report from the
+   synchronized async regions.
+
+Usage::
+
+    python examples/overlap.py
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.core import EndToEndLU, SolverConfig
+from repro.symbolic import symbolic_fill_reference
+from repro.workloads.registry import by_abbr
+
+
+def main() -> None:
+    spec = dataclasses.replace(by_abbr("CR2"), n_scaled=160)
+    a = spec.generate()
+    filled = symbolic_fill_reference(a)
+    device = spec.device_for_symbolic(a, filled.nnz, chunk_rows=32)
+    # halve the sized device: now the symbolic output ships per chunk and
+    # the numeric phase streams column segments — the regime where the
+    # two copy engines have real work to hide
+    device = dataclasses.replace(
+        device, memory_bytes=device.memory_bytes // 2
+    )
+    base = SolverConfig(device=device, host=spec.host_for(device))
+    print(
+        f"matrix {spec.abbr} n={a.n_rows}, nnz={a.nnz}, "
+        f"device {device.memory_bytes / 2**20:.1f} MiB (fully streamed)"
+    )
+
+    serial = EndToEndLU(base).factorize(a)
+    overlap = EndToEndLU(
+        dataclasses.replace(base, overlap=True)
+    ).factorize(a)
+
+    # 1. overlap may only move time, never results -----------------------
+    assert np.array_equal(serial.filled.indptr, overlap.filled.indptr)
+    assert np.array_equal(serial.filled.indices, overlap.filled.indices)
+    assert np.array_equal(serial.L.data, overlap.L.data)
+    assert np.array_equal(serial.U.data, overlap.U.data)
+    print(
+        f"factors identical: yes (filled nnz = {overlap.filled.nnz}, "
+        f"numeric format = {overlap.numeric.data_format})"
+    )
+
+    # 2. the speedup -----------------------------------------------------
+    t_serial, t_overlap = serial.sim_seconds, overlap.sim_seconds
+    drop = (t_serial - t_overlap) / t_serial
+    print(f"serial  : {t_serial * 1e3:8.3f} ms")
+    print(f"overlap : {t_overlap * 1e3:8.3f} ms  ({drop:.1%} faster)")
+    assert t_overlap < t_serial
+
+    # 3. where the time went --------------------------------------------
+    report = overlap.gpu.combined_report()
+    print(
+        f"async regions: {len(overlap.gpu.reports)} sync points, "
+        f"{report.n_streams} streams, "
+        f"{report.h2d_ops}/{report.d2h_ops}/{report.compute_ops} "
+        f"h2d/d2h/kernel ops"
+    )
+    print(
+        f"engine utilization over the async makespan: "
+        f"h2d {report.utilization('h2d'):.0%}, "
+        f"d2h {report.utilization('d2h'):.0%}, "
+        f"compute {report.utilization('compute'):.0%}"
+    )
+    print(
+        f"overlap efficiency: {report.overlap_efficiency:.0%} of serial "
+        f"busy time hidden"
+    )
+
+
+if __name__ == "__main__":
+    main()

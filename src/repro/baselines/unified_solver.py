@@ -24,6 +24,7 @@ from ..core.config import SolverConfig
 from ..core.outofcore import SymbolicResult
 from ..gpusim import GPU, UnifiedMemoryPager
 from ..sparse import CSRMatrix
+from ..streams import StreamedGPU
 from ..symbolic import (
     chunk_blocks,
     frontier_counts,
@@ -56,6 +57,16 @@ def unified_symbolic(
         cost = gpu.cost
 
         pager = UnifiedMemoryPager(gpu, prefetch_enabled=prefetch)
+        streamed = config.overlap and isinstance(gpu, StreamedGPU)
+        if streamed:
+            # prefetch migrations go to the H2D copy engine and race the
+            # wave kernels on the compute stream — the exposed fraction
+            # of each prefetch now comes from the schedule instead of
+            # the serial path's ``um_prefetch_exposed`` constant.  Page
+            # faults stay serial: a faulting kernel genuinely blocks.
+            pager.transfer_submit = lambda nbytes: gpu.h2d_async(
+                nbytes, "um-prefetch", category="prefetch"
+            )
         graph_bytes = (n + 1) * idx + a.nnz * (idx + val)
         scratch_per_row = config.scratch_bytes_per_row(n)
         graph = pager.alloc(graph_bytes, "graph")
@@ -87,18 +98,32 @@ def unified_symbolic(
                 if two_stage_pass == 1 and out_len:
                     pager.touch(output, out_off, out_len)
                 blocks = chunk_blocks(frontier[start:end])
-                gpu.launch_traversal(
-                    edges=int(
-                        edges_per_row[start:end].sum()
-                        + (fill_count[start:end].sum() if two_stage_pass else 0)
-                    ),
-                    avg_degree=avg_degree,
-                    blocks=blocks,
-                    compute_derate=cost.um_compute_derate,
+                edges = int(
+                    edges_per_row[start:end].sum()
+                    + (fill_count[start:end].sum() if two_stage_pass else 0)
                 )
+                if streamed:
+                    gpu.launch_traversal_async(
+                        edges=edges,
+                        avg_degree=avg_degree,
+                        blocks=blocks,
+                        stream="um-compute",
+                        compute_derate=cost.um_compute_derate,
+                    )
+                else:
+                    gpu.launch_traversal(
+                        edges=edges,
+                        avg_degree=avg_degree,
+                        blocks=blocks,
+                        compute_derate=cost.um_compute_derate,
+                    )
             if two_stage_pass == 0:
+                # serial ops are sync points, so the count pass drains
+                # before its prefix sum either way
                 gpu.launch_utility(n)  # prefix sum over managed fill counts
                 gpu.d2h(8)
+        if streamed:
+            gpu.synchronize()  # makespan lands in the "symbolic" phase
 
     return SymbolicResult(
         filled=filled,

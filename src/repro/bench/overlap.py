@@ -1,0 +1,145 @@
+"""Transfer/compute overlap benchmark: ``overlap`` on/off × chunk sizes.
+
+Runs the end-to-end pipeline on a transfer-bound out-of-core instance
+(dense FEM pattern, sized device memory halved so both the symbolic
+output and the numeric segment window stream), once with the serial
+charging and once through the :mod:`repro.streams` copy-engine pipeline,
+for a sweep of out-of-core chunk sizes.  Reports, per configuration:
+
+* serial vs overlap simulated seconds and the relative drop;
+* copy-engine and compute utilization over the async regions' makespan;
+* overlap efficiency (fraction of serial busy time hidden);
+* a results-identical flag (fill structure and factors must match
+  bitwise — overlap may only move time, never results).
+
+``repro overlap-bench`` prints the table; ``repro bench overlap`` runs
+the same sweep through the experiment runner.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import EndToEndLU, SolverConfig
+from ..symbolic import symbolic_fill_reference
+from ..workloads.registry import by_abbr
+
+__all__ = ["OverlapRow", "OverlapReport", "run_overlap_bench", "run_overlap"]
+
+
+@dataclass(frozen=True)
+class OverlapRow:
+    """One (chunk size) configuration of the sweep."""
+
+    chunk_rows: int
+    serial_seconds: float
+    overlap_seconds: float
+    h2d_utilization: float
+    d2h_utilization: float
+    compute_utilization: float
+    overlap_efficiency: float
+    results_identical: bool
+
+    @property
+    def drop(self) -> float:
+        """Relative simulated-seconds reduction from overlap."""
+        if self.serial_seconds <= 0:
+            return 0.0
+        return (self.serial_seconds - self.overlap_seconds) / (
+            self.serial_seconds
+        )
+
+
+@dataclass(frozen=True)
+class OverlapReport:
+    """The full sweep on one matrix instance."""
+
+    abbr: str
+    n: int
+    nnz: int
+    mem_divisor: int
+    rows: tuple[OverlapRow, ...]
+
+    def format(self) -> str:
+        lines = [
+            f"overlap sweep on {self.abbr} (n={self.n}, nnz={self.nnz}, "
+            f"device memory / {self.mem_divisor})",
+            f"{'chunk':>6s} {'serial ms':>10s} {'overlap ms':>11s} "
+            f"{'drop':>6s} {'h2d':>5s} {'d2h':>5s} {'comp':>5s} "
+            f"{'eff':>5s} {'identical':>9s}",
+        ]
+        for r in self.rows:
+            lines.append(
+                f"{r.chunk_rows:>6d} {r.serial_seconds * 1e3:>10.3f} "
+                f"{r.overlap_seconds * 1e3:>11.3f} {r.drop:>6.1%} "
+                f"{r.h2d_utilization:>5.0%} {r.d2h_utilization:>5.0%} "
+                f"{r.compute_utilization:>5.0%} "
+                f"{r.overlap_efficiency:>5.0%} "
+                f"{'yes' if r.results_identical else 'NO':>9s}"
+            )
+        return "\n".join(lines)
+
+
+def run_overlap_bench(
+    *,
+    abbr: str = "CR2",
+    n: int | None = None,
+    chunk_rows: tuple[int, ...] = (16, 32, 64),
+    mem_divisor: int = 2,
+    smoke: bool = True,
+) -> OverlapReport:
+    """Run the overlap on/off sweep and return the report."""
+    spec = by_abbr(abbr)
+    if n is None:
+        n = 160 if smoke else spec.n_scaled
+    spec = dataclasses.replace(spec, n_scaled=int(n))
+    a = spec.generate()
+    filled = symbolic_fill_reference(a)
+
+    rows = []
+    for cr in chunk_rows:
+        device = spec.device_for_symbolic(a, filled.nnz, chunk_rows=cr)
+        device = dataclasses.replace(
+            device, memory_bytes=device.memory_bytes // mem_divisor
+        )
+        base = SolverConfig(device=device, host=spec.host_for(device))
+        res_off = EndToEndLU(base).factorize(a)
+        res_on = EndToEndLU(
+            dataclasses.replace(base, overlap=True)
+        ).factorize(a)
+        report = res_on.gpu.combined_report()
+        identical = (
+            np.array_equal(res_off.filled.indptr, res_on.filled.indptr)
+            and np.array_equal(
+                res_off.filled.indices, res_on.filled.indices
+            )
+            and np.array_equal(res_off.L.data, res_on.L.data)
+            and np.array_equal(res_off.U.data, res_on.U.data)
+        )
+        rows.append(
+            OverlapRow(
+                chunk_rows=int(cr),
+                serial_seconds=float(res_off.sim_seconds),
+                overlap_seconds=float(res_on.sim_seconds),
+                h2d_utilization=float(report.utilization("h2d")),
+                d2h_utilization=float(report.utilization("d2h")),
+                compute_utilization=float(report.utilization("compute")),
+                overlap_efficiency=float(report.overlap_efficiency),
+                results_identical=bool(identical),
+            )
+        )
+    return OverlapReport(
+        abbr=abbr,
+        n=int(n),
+        nnz=int(a.nnz),
+        mem_divisor=int(mem_divisor),
+        rows=tuple(rows),
+    )
+
+
+def run_overlap() -> str:
+    """Experiment-runner entry point (``repro bench overlap``)."""
+    return run_overlap_bench(smoke=True).format()

@@ -16,6 +16,10 @@ Commands
 ``serve-bench``   replay a repeated-pattern workload through the
               :mod:`repro.serve` solver service and report cache hit
               rate, latency percentiles, and speedup vs. cold solves.
+``overlap-bench`` sweep transfer/compute overlap on/off across
+              out-of-core chunk sizes; reports the simulated-seconds
+              drop, copy-engine utilization and overlap efficiency
+              (see docs/streams.md).
 ``fault-drill``   run the four fault/recovery scenarios (flaky link,
               OOM storm, singular workload, dead device) and verify
               every one recovers or degrades to the CPU fallback, with
@@ -189,6 +193,20 @@ def cmd_serve_bench(args) -> int:
     return 0
 
 
+def cmd_overlap_bench(args) -> int:
+    from .bench.overlap import run_overlap_bench
+
+    report = run_overlap_bench(
+        abbr=args.matrix,
+        n=args.n,
+        chunk_rows=tuple(args.chunk_rows),
+        mem_divisor=args.mem_divisor,
+        smoke=not args.full,
+    )
+    print(report.format())
+    return 0 if all(r.results_identical for r in report.rows) else 1
+
+
 def cmd_fault_drill(args) -> int:
     from .bench.fault_drill import run_fault_drill_cli
 
@@ -319,9 +337,31 @@ def build_parser() -> argparse.ArgumentParser:
     sp = sub.add_parser("bench", help="run a paper experiment")
     sp.add_argument("experiment",
                     choices=["fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-                             "table3", "table4", "serve_bench", "all"])
+                             "table3", "table4", "serve_bench", "overlap",
+                             "all"])
     sp.add_argument("--fast", action="store_true")
     sp.set_defaults(fn=cmd_bench)
+
+    sp = sub.add_parser(
+        "overlap-bench",
+        help="sweep transfer/compute overlap on/off across out-of-core "
+             "chunk sizes (copy-engine utilization, overlap efficiency)",
+    )
+    sp.add_argument("--matrix", default="CR2",
+                    help="workload-registry abbreviation (default CR2, "
+                         "the densest Table 2 pattern)")
+    sp.add_argument("--n", type=int, default=None,
+                    help="override instance rows (default: 160 smoke, "
+                         "registry scale with --full)")
+    sp.add_argument("--chunk-rows", type=int, nargs="+",
+                    default=[16, 32, 64],
+                    help="out-of-core chunk sizes to sweep")
+    sp.add_argument("--mem-divisor", type=int, default=2,
+                    help="divide the sized device memory by this factor "
+                         "(pushes the run into the streamed regime)")
+    sp.add_argument("--full", action="store_true",
+                    help="registry-scale instance instead of smoke size")
+    sp.set_defaults(fn=cmd_overlap_bench)
 
     sp = sub.add_parser(
         "serve-bench",

@@ -68,9 +68,26 @@ class SolverConfig:
     #: disables resilience entirely (historical behaviour)
     resilience: ResilienceConfig | None = None
 
+    #: transfer/compute overlap: run the out-of-core chunk loops through
+    #: the :mod:`repro.streams` copy-engine pipeline (dedicated H2D and
+    #: D2H DMA engines beside the compute scheduler).  Results are
+    #: bitwise-identical to the serial schedule; only simulated seconds
+    #: shrink.  ``False`` keeps the historical serial charging.
+    overlap: bool = False
+    #: compute streams the chunk pipeline deals kernels over (chunk
+    #: kernels co-run when their combined block demand fits the device)
+    overlap_compute_lanes: int = 2
+    #: pinned-host staging buffers bounding how many chunk uploads may
+    #: be in flight ahead of their kernels
+    overlap_staging_buffers: int = 2
+
     def __post_init__(self) -> None:
         if not (0.0 < self.split_fraction <= 1.0):
             raise ConfigurationError("split_fraction must be in (0, 1]")
+        if self.overlap_compute_lanes < 1:
+            raise ConfigurationError("overlap_compute_lanes must be >= 1")
+        if self.overlap_staging_buffers < 1:
+            raise ConfigurationError("overlap_staging_buffers must be >= 1")
         if self.symbolic_mode not in ("outofcore", "unified", "incore"):
             raise ConfigurationError(
                 f"unknown symbolic_mode {self.symbolic_mode!r}"

@@ -60,6 +60,42 @@ class MultiGpuSymbolicResult:
         """min/max shard time — 1.0 is perfect balance."""
         return min(self.shard_seconds) / max(self.shard_seconds)
 
+    def perf_record(self) -> dict:
+        """Machine-readable execution record for the perf-snapshot suite.
+
+        Same shape as :meth:`repro.core.pipeline.EndToEndResult.perf_record`:
+        exact ``counters``, tolerance-band ``timings``, exact-match
+        ``labels``.  Per-device ledger counters are summed (they are
+        deterministic per shard, so the sums are too).
+        """
+        counters = {
+            "num_devices": int(self.num_devices),
+            "n": int(self.filled.n_rows),
+            "filled_nnz": int(self.filled.nnz),
+            "shard_blocks_total": sum(
+                len(blocks) for blocks in self.shard_blocks
+            ),
+            "kernel_launches": sum(
+                g.ledger.get_count("kernel_launches") for g in self.gpus
+            ),
+            "bytes_h2d": sum(
+                g.ledger.get_count("bytes_h2d") for g in self.gpus
+            ),
+            "bytes_d2h": sum(
+                g.ledger.get_count("bytes_d2h") for g in self.gpus
+            ),
+            "pool_peak_bytes_max": max(
+                int(g.pool.peak_bytes) for g in self.gpus
+            ),
+        }
+        timings = {
+            "makespan_seconds": float(self.makespan_seconds),
+            "total_device_seconds": float(self.total_device_seconds),
+            "balance": float(self.balance()),
+        }
+        labels = {"partition": "cyclic-block"}
+        return {"counters": counters, "timings": timings, "labels": labels}
+
 
 def _cyclic_blocks(
     n: int, num_devices: int, block_rows: int

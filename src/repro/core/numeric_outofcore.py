@@ -27,6 +27,7 @@ from ..gpusim import GPU
 from ..graph import LevelSchedule, sub_column_counts
 from ..sparse import CSRMatrix
 from ..sparse.types import INDEX_DTYPE
+from ..streams import StreamedGPU
 from .config import SolverConfig
 from .numeric_gpu import NumericResult, factorize_with_pivot_recovery
 
@@ -46,10 +47,15 @@ class StreamingStats:
 
 
 class _SegmentWindow:
-    """LRU residency of column segments inside a device-byte budget."""
+    """LRU residency of column segments inside a device-byte budget.
+
+    Transfers are routed through the ``load``/``writeback`` callables so
+    the overlap mode can enqueue them on copy-engine streams; the
+    defaults charge the serial ``gpu.h2d``/``gpu.d2h``.
+    """
 
     def __init__(self, gpu: GPU, num_segments: int, segment_bytes: int,
-                 budget_bytes: int) -> None:
+                 budget_bytes: int, *, load=None, writeback=None) -> None:
         self.gpu = gpu
         self.segment_bytes = segment_bytes
         self.capacity = max(1, budget_bytes // max(segment_bytes, 1))
@@ -58,31 +64,49 @@ class _SegmentWindow:
         self.tick = 0
         self.loads = 0
         self.writebacks = 0
+        self._load = (
+            load if load is not None
+            else (lambda: gpu.h2d(segment_bytes))
+        )
+        self._writeback = (
+            writeback if writeback is not None
+            else (lambda: gpu.d2h(segment_bytes))
+        )
+
+    def _evict_one(self) -> None:
+        victim = min(self.resident, key=self.resident.get)  # LRU
+        del self.resident[victim]
+        if victim in self.dirty:
+            self._writeback()
+            self.dirty.discard(victim)
+            self.writebacks += 1
 
     def touch(self, segments: set[int], *, write: bool) -> None:
-        self.tick += 1
-        missing = [s for s in segments if s not in self.resident]
-        # evict LRU beyond capacity
-        overflow = len(self.resident) + len(missing) - self.capacity
-        if overflow > 0:
-            victims = sorted(self.resident, key=self.resident.get)[:overflow]
-            for v in victims:
-                del self.resident[v]
-                if v in self.dirty:
-                    self.gpu.d2h(self.segment_bytes)
-                    self.dirty.discard(v)
-                    self.writebacks += 1
-        for s in missing:
-            self.gpu.h2d(self.segment_bytes)
-            self.loads += 1
-        for s in segments:
-            self.resident[s] = self.tick
+        """Stream one level's access set through the window.
+
+        Segments are visited in column order, the order the kernel sweeps
+        them.  An access set that exceeds the window therefore evicts its
+        own earliest segments to admit the later ones (sequential LRU
+        thrash): every eviction of a dirty segment is a real writeback
+        and every re-entry a real load — the honest transfer cost of
+        running a level whose footprint exceeds device memory.
+        """
+        for s in sorted(segments):
+            self.tick += 1
+            if s in self.resident:
+                self.resident[s] = self.tick
+            else:
+                while len(self.resident) >= self.capacity:
+                    self._evict_one()
+                self._load()
+                self.loads += 1
+                self.resident[s] = self.tick
             if write:
                 self.dirty.add(s)
 
     def flush(self) -> None:
-        for s in list(self.dirty):
-            self.gpu.d2h(self.segment_bytes)
+        for s in sorted(self.dirty):
+            self._writeback()
             self.writebacks += 1
         self.dirty.clear()
 
@@ -117,10 +141,41 @@ def numeric_factorize_outofcore(
         seg_bytes = max(
             1, ((n + 1) * idx + As.nnz * (idx + val)) // num_segments
         )
-        window = _SegmentWindow(
-            gpu, num_segments, seg_bytes,
-            budget_bytes=int(0.8 * gpu.free_bytes),
-        )
+
+        streamed = config.overlap and isinstance(gpu, StreamedGPU)
+        if streamed:
+            # Dedicated streams per engine: loads on the H2D copy engine,
+            # writebacks on the D2H engine, level kernels on one compute
+            # stream (levels are dependency-ordered, so kernels serialize
+            # among themselves — the overlap is transfers vs compute and
+            # H2D vs D2H).  A writeback waits on the kernel that dirtied
+            # its data; a level's kernel waits on its last load (the copy
+            # engine is FIFO, so the last load implies all of them); the
+            # next level's loads start immediately — prefetch under the
+            # current kernel, slot reuse hidden by the staging pair.
+            h2d_stream = gpu.stream("ooc-h2d")
+            d2h_stream = gpu.stream("ooc-d2h")
+            compute_stream = gpu.stream("ooc-compute")
+            pending: dict = {"load": None, "kernel": None}
+
+            def _load_async() -> None:
+                pending["load"] = gpu.h2d_async(seg_bytes, h2d_stream)
+
+            def _writeback_async() -> None:
+                if pending["kernel"] is not None:
+                    gpu.wait_event(d2h_stream, pending["kernel"])
+                gpu.d2h_async(seg_bytes, d2h_stream)
+
+            window = _SegmentWindow(
+                gpu, num_segments, seg_bytes,
+                budget_bytes=int(0.8 * gpu.free_bytes),
+                load=_load_async, writeback=_writeback_async,
+            )
+        else:
+            window = _SegmentWindow(
+                gpu, num_segments, seg_bytes,
+                budget_bytes=int(0.8 * gpu.free_bytes),
+            )
 
         # real numerics once, with per-level stats for charging
         stats = factorize_with_pivot_recovery(
@@ -144,13 +199,26 @@ def numeric_factorize_outofcore(
                 subs = rj[rj > int(j)]
                 touched.update(seg_of[subs].tolist())
             window.touch(touched, write=True)
-            gpu.launch_numeric(
-                max(1, flops),
-                max(cols, updates),
-                concurrency_cap=gpu.spec.max_concurrent_blocks,
-                search_steps=search,
-            )
+            if streamed:
+                if pending["load"] is not None:
+                    gpu.wait_event(compute_stream, pending["load"])
+                pending["kernel"] = gpu.launch_numeric_async(
+                    max(1, flops),
+                    max(cols, updates),
+                    compute_stream,
+                    concurrency_cap=gpu.spec.max_concurrent_blocks,
+                    search_steps=search,
+                )
+            else:
+                gpu.launch_numeric(
+                    max(1, flops),
+                    max(cols, updates),
+                    concurrency_cap=gpu.spec.max_concurrent_blocks,
+                    search_steps=search,
+                )
         window.flush()
+        if streamed:
+            gpu.synchronize()  # makespan lands in the "numeric" phase
 
     streaming = StreamingStats(
         segments=num_segments,

@@ -32,6 +32,7 @@ import numpy as np
 from ..errors import DeviceMemoryError
 from ..gpusim import GPU, Buffer
 from ..sparse import CSRMatrix
+from ..streams import DoubleBufferedPipeline, StreamedGPU
 from ..symbolic import (
     chunk_blocks,
     frontier_counts,
@@ -321,22 +322,53 @@ def outofcore_symbolic(
         )
 
         # -- stage 2: write fill positions (kernel symbolic_2) --------------
+        # With overlap enabled, stage-2 chunks run through the
+        # double-buffered pipeline: each chunk's kernel goes to a compute
+        # lane and — in streaming mode — its output drains on the D2H
+        # copy engine while the next chunk's kernel runs, so the
+        # per-chunk downloads disappear under compute.
+        pipe = (
+            DoubleBufferedPipeline(
+                gpu,
+                compute_lanes=config.overlap_compute_lanes,
+                staging_buffers=config.overlap_staging_buffers,
+                name="sym2",
+            )
+            if config.overlap and isinstance(gpu, StreamedGPU)
+            else None
+        )
+
         def stage2_body(plan, start, end):
             # traversal again, plus one write per produced nonzero
-            gpu.launch_traversal(
-                edges=int(
-                    edges_per_row[start:end].sum()
-                    + fill_count[start:end].sum()
-                ),
-                avg_degree=avg_degree,
-                blocks=chunk_blocks(frontier[start:end]),
+            edges = int(
+                edges_per_row[start:end].sum() + fill_count[start:end].sum()
             )
-            if streaming_output:
-                gpu.d2h(
-                    int(fill_count[start:end].sum()) * (idx + val)
+            blocks = chunk_blocks(frontier[start:end])
+            out_bytes = (
+                int(fill_count[start:end].sum()) * (idx + val)
+                if streaming_output else 0
+            )
+            if pipe is not None:
+                pipe.submit(
+                    0,  # inputs are device-resident; nothing to upload
+                    lambda lane: gpu.launch_traversal_async(
+                        edges=edges,
+                        avg_degree=avg_degree,
+                        blocks=blocks,
+                        stream=lane,
+                    ),
+                    out_bytes,
                 )
+            else:
+                gpu.launch_traversal(
+                    edges=edges, avg_degree=avg_degree, blocks=blocks,
+                )
+                if streaming_output:
+                    gpu.d2h(out_bytes)
 
         for_each_chunk("symbolic_2", stage2_body)
+        if pipe is not None:
+            pipe.drain()  # makespan lands in the "symbolic" phase
 
         if not keep_on_device and device_filled is not None:
             gpu.d2h(filled_bytes)

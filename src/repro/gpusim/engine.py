@@ -72,15 +72,23 @@ class GPU:
 
     # -- explicit transfers ------------------------------------------------
     def h2d(self, nbytes: int, category: str | None = "transfer") -> None:
-        """Charge one host->device DMA of ``nbytes``."""
+        """Charge one host->device DMA of ``nbytes``.
+
+        Zero-byte transfers are complete no-ops: no DMA is issued on
+        hardware, so neither latency nor counters are booked.
+        """
         nbytes = _check_nbytes(nbytes, "h2d")
+        if nbytes == 0:
+            return
         self.ledger.charge(self.cost.transfer_seconds(nbytes), category)
         self.ledger.count("h2d_transfers")
         self.ledger.count("bytes_h2d", nbytes)
 
     def d2h(self, nbytes: int, category: str | None = "transfer") -> None:
-        """Charge one device->host DMA of ``nbytes``."""
+        """Charge one device->host DMA of ``nbytes`` (0 bytes: no-op)."""
         nbytes = _check_nbytes(nbytes, "d2h")
+        if nbytes == 0:
+            return
         self.ledger.charge(self.cost.transfer_seconds(nbytes), category)
         self.ledger.count("d2h_transfers")
         self.ledger.count("bytes_d2h", nbytes)

@@ -279,6 +279,32 @@ class FaultInjector(GPUProxy):
                 ) from exc
             raise
 
+    # -- asynchronous-enqueue gates --------------------------------------
+    # The streams subsystem resolves op schedules at enqueue and charges
+    # nothing until synchronize, so it cannot route async ops through the
+    # intercepted serial methods above.  Instead it calls these gates at
+    # enqueue time: same tick / draw / record sequence, same determinism
+    # (one RNG consumed in op order), but no delegation to the wrapped
+    # serial operation — a passing gate books nothing.
+
+    def transfer_fault_gate(self, op: str, nbytes: int) -> None:
+        """Fault decision for an async ``h2d``/``d2h`` enqueue; raises
+        :class:`TransferError` exactly as the serial interception would."""
+        self._tick(op)
+        if self._fault(self.plan.transfer_fault_rate):
+            self.inner.ledger.count("injected_transfer_faults")
+            self._record("transfer", op, detail=f"{int(nbytes)}B")
+            raise TransferError(op, int(nbytes), self.op_index)
+
+    def kernel_fault_gate(self, kernel: str) -> None:
+        """Fault decision for an async kernel enqueue; raises
+        :class:`KernelFaultError` exactly as the serial interception would."""
+        self._tick(kernel)
+        if self._fault(self.plan.kernel_fault_rate):
+            self.inner.ledger.count("injected_kernel_faults")
+            self._record("kernel", kernel)
+            raise KernelFaultError(kernel, self.op_index)
+
     # -- introspection --------------------------------------------------
     def event_log(self) -> list[tuple]:
         """Deterministic identity view of the injected events (for

@@ -51,6 +51,21 @@ class TimeLedger:
         self.total_seconds += seconds
         self.phase_seconds[category] += seconds
 
+    def charge_busy(self, seconds: float, category: str) -> None:
+        """Add ``seconds`` to the ``category`` bucket only — neither the
+        total nor the phase stack.
+
+        Asynchronous execution (:mod:`repro.streams`) books each op's
+        busy time here at *enqueue*; the wall-clock cost of the whole
+        overlapped region is charged exactly once, at synchronize, as
+        the region's makespan.  Category buckets therefore stay
+        comparable with a serial run (same op set => same busy seconds)
+        while the total genuinely shrinks with overlap.
+        """
+        if seconds < 0:
+            raise ValueError("cannot charge negative time")
+        self.phase_seconds[category] += seconds
+
     @contextmanager
     def phase(self, name: str):
         """Context manager; time charged inside books to phase ``name``."""

@@ -55,16 +55,34 @@ class TracingGPU(GPU):
             )
         )
 
+    def record_async(self, name: str, category: str, start_s: float,
+                     duration_s: float, **args) -> None:
+        """Append an event with *explicit* times (asynchronous ops resolve
+        their schedule at enqueue, so their timeline position is not the
+        ledger's running total).  ``args`` should carry ``stream`` so the
+        Chrome export can place the event on its own lane."""
+        self.events.append(
+            TraceEvent(
+                name=name,
+                category=category,
+                start_s=start_s,
+                duration_s=duration_s,
+                args=args,
+            )
+        )
+
     # -- overridden operations ----------------------------------------------
     def h2d(self, nbytes: int, category=None) -> None:  # noqa: D102
         t0 = self.ledger.total_seconds
         super().h2d(nbytes, category)
-        self._record("h2d", "transfer", t0, bytes=int(nbytes))
+        if int(nbytes) > 0:
+            self._record("h2d", "transfer", t0, bytes=int(nbytes))
 
     def d2h(self, nbytes: int, category=None) -> None:  # noqa: D102
         t0 = self.ledger.total_seconds
         super().d2h(nbytes, category)
-        self._record("d2h", "transfer", t0, bytes=int(nbytes))
+        if int(nbytes) > 0:
+            self._record("d2h", "transfer", t0, bytes=int(nbytes))
 
     def launch_traversal(self, edges, avg_degree, blocks, *,
                          from_device=False, compute_derate=1.0):  # noqa: D102
@@ -109,9 +127,21 @@ class TracingGPU(GPU):
     # -- export ---------------------------------------------------------------
     def to_chrome_trace(self) -> list[dict]:
         """Chrome trace-event JSON objects (``ph: X`` complete events;
-        microsecond timestamps as the format requires)."""
+        microsecond timestamps as the format requires).
+
+        Serial events keep the legacy category lanes (tid 1-3); events
+        recorded by the streams subsystem carry a ``stream`` arg and get
+        one lane per stream (tid 10+, first-appearance order), so
+        transfer/compute overlap is visible as concurrent rows.
+        """
         out = []
+        stream_tids: dict[str, int] = {}
         for ev in self.events:
+            stream = ev.args.get("stream")
+            if stream is not None:
+                tid = stream_tids.setdefault(str(stream), 10 + len(stream_tids))
+            else:
+                tid = {"kernel": 1, "transfer": 2}.get(ev.category, 3)
             out.append(
                 {
                     "name": ev.name,
@@ -120,7 +150,7 @@ class TracingGPU(GPU):
                     "ts": ev.start_s * 1e6,
                     "dur": max(ev.duration_s * 1e6, 0.001),
                     "pid": 0,
-                    "tid": {"kernel": 1, "transfer": 2}.get(ev.category, 3),
+                    "tid": tid,
                     "args": ev.args,
                 }
             )

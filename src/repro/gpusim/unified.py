@@ -44,6 +44,13 @@ class UnifiedMemoryPager:
         self.gpu = gpu
         self.cost = gpu.cost
         self.prefetch_enabled = prefetch_enabled
+        #: optional transfer router for prefetched bytes.  When set (the
+        #: overlap mode points it at ``StreamedGPU.h2d_async``), prefetch
+        #: migrations are enqueued on the H2D copy engine and the exposed
+        #: cost *emerges* from the stream schedule; when ``None`` the
+        #: serial fallback charges the ``um_prefetch_exposed`` fraction
+        #: of the transfer as an analytic stand-in for that overlap.
+        self.transfer_submit = None
         self.page_bytes = gpu.cost.um_page_bytes
         # UM can oversubscribe the device but is bounded by host memory.
         self.host_capacity_pages = gpu.host.memory_bytes // self.page_bytes
@@ -166,13 +173,18 @@ class UnifiedMemoryPager:
         if n_pages:
             self._evict_if_needed(n_pages)
             nbytes = n_pages * self.page_bytes
-            # the copy stream overlaps compute; only part of the transfer
-            # is exposed on the critical path
-            self.gpu.ledger.charge(
-                self.cost.um_prefetch_exposed
-                * self.cost.transfer_seconds(nbytes),
-                "prefetch",
-            )
+            if self.transfer_submit is not None:
+                # route through the copy engine: overlap with compute is
+                # resolved by the stream schedule, not assumed
+                self.transfer_submit(nbytes)
+            else:
+                # the copy stream overlaps compute; only part of the
+                # transfer is exposed on the critical path
+                self.gpu.ledger.charge(
+                    self.cost.um_prefetch_exposed
+                    * self.cost.transfer_seconds(nbytes),
+                    "prefetch",
+                )
             self.gpu.ledger.count("um_prefetched_pages", n_pages)
             self.prefetched_bytes += nbytes
             self._resident[p0:p1] = True

@@ -10,6 +10,14 @@ Four scenario families, each seeded and therefore bit-deterministic:
 * ``symbolic/outofcore_chunking`` — the two-stage chunked symbolic phase
   alone on a memory-starved device (chunk plans, iterations, split
   point).
+* ``overlap/e2e_CR2`` — the copy-engine overlap pipeline on the
+  transfer-bound out-of-core regime (a dense FEM matrix on a
+  memory-halved device, so both the symbolic output and the numeric
+  segment window stream): runs the same instance with ``overlap`` off
+  and on, records the drop, engine utilizations, and a
+  results-identical flag.
+* ``multigpu/symbolic_OT2`` (full mode) — sharded symbolic
+  factorization over four devices (makespan, balance, summed ledgers).
 * ``serve/replay`` — a repeated-pattern trace through the solver service
   (cache hit rate, latency percentiles, speedup vs. cold solves).
 * ``faults/drill`` — the four-scenario recovery-ladder drill (fault and
@@ -123,6 +131,86 @@ def _symbolic_scenario(smoke: bool) -> ScenarioRecord:
     return ScenarioRecord.from_parts("symbolic/outofcore_chunking", part)
 
 
+def _overlap_scenario(smoke: bool) -> ScenarioRecord:
+    """Overlap on/off on the regime the streams subsystem targets.
+
+    CR2 (crankseg_2) is the densest Table 2 pattern; halving the sized
+    device memory pushes the run into the fully streamed regime — the
+    symbolic output ships per chunk and the numeric phase runs the
+    segment-window executor — where transfers dominate and the two copy
+    engines have real work to hide.
+    """
+    import numpy as np
+
+    spec = by_abbr("CR2")
+    chunk_rows = _SMOKE_CHUNK_ROWS if smoke else 128
+    n = _SMOKE_N if smoke else 240
+    spec = dataclasses.replace(spec, n_scaled=n)
+    a = spec.generate()
+    filled = symbolic_fill_reference(a)
+    device = spec.device_for_symbolic(a, filled.nnz, chunk_rows=chunk_rows)
+    device = dataclasses.replace(
+        device, memory_bytes=device.memory_bytes // 2
+    )
+    base = SolverConfig(device=device, host=spec.host_for(device))
+    res_off = EndToEndLU(base).factorize(a)
+    res_on = EndToEndLU(
+        dataclasses.replace(base, overlap=True)
+    ).factorize(a)
+
+    identical = (
+        np.array_equal(res_off.filled.indptr, res_on.filled.indptr)
+        and np.array_equal(res_off.filled.indices, res_on.filled.indices)
+        and np.array_equal(res_off.L.data, res_on.L.data)
+        and np.array_equal(res_off.U.data, res_on.U.data)
+    )
+    report = res_on.gpu.combined_report()  # StreamedGPU (overlap=True)
+    off_s = float(res_off.sim_seconds)
+    on_s = float(res_on.sim_seconds)
+    part = {
+        "counters": {
+            "n": int(a.n_rows),
+            "nnz": int(a.nnz),
+            "filled_nnz": int(res_on.filled.nnz),
+            "results_identical": int(identical),
+            "h2d_ops": int(report.h2d_ops),
+            "d2h_ops": int(report.d2h_ops),
+            "compute_ops": int(report.compute_ops),
+            "n_streams": int(report.n_streams),
+            "sync_regions": len(res_on.gpu.reports),
+            "bytes_h2d": res_on.gpu.ledger.get_count("bytes_h2d"),
+            "bytes_d2h": res_on.gpu.ledger.get_count("bytes_d2h"),
+        },
+        "timings": {
+            "serial_seconds": off_s,
+            "overlap_seconds": on_s,
+            "overlap_drop": (off_s - on_s) / off_s if off_s else 0.0,
+            "overlap_efficiency": float(report.overlap_efficiency),
+            "h2d_utilization": float(report.utilization("h2d")),
+            "d2h_utilization": float(report.utilization("d2h")),
+            "compute_utilization": float(report.utilization("compute")),
+        },
+        "labels": {
+            "numeric_format": str(res_on.numeric.data_format),
+        },
+    }
+    return ScenarioRecord.from_parts("overlap/e2e_CR2", part)
+
+
+def _multigpu_scenario(smoke: bool) -> ScenarioRecord:
+    from ..core.multigpu import multi_gpu_symbolic
+
+    spec = by_abbr("OT2")
+    if smoke:
+        spec = dataclasses.replace(spec, n_scaled=_SMOKE_N)
+    a = spec.generate()
+    cfg = SolverConfig()
+    res = multi_gpu_symbolic(a, cfg, num_devices=4)
+    return ScenarioRecord.from_parts(
+        "multigpu/symbolic_OT2", res.perf_record()
+    )
+
+
 def _serve_scenario(smoke: bool) -> ScenarioRecord:
     if smoke:
         patterns, requests, n = 2, 24, 120
@@ -157,6 +245,11 @@ def _scenarios(smoke: bool) -> dict[str, Callable[[], ScenarioRecord]]:
     runners["symbolic/outofcore_chunking"] = partial(
         _symbolic_scenario, smoke
     )
+    runners["overlap/e2e_CR2"] = partial(_overlap_scenario, smoke)
+    if not smoke:
+        runners["multigpu/symbolic_OT2"] = partial(
+            _multigpu_scenario, smoke
+        )
     runners["serve/replay"] = partial(_serve_scenario, smoke)
     runners["faults/drill"] = partial(_faults_scenario, smoke)
     return runners

@@ -1,0 +1,22 @@
+"""repro.streams — asynchronous execution for the simulated GPU.
+
+Streams, events, copy engines, a block-capacity compute scheduler, the
+:class:`StreamedGPU` device facade, and the
+:class:`DoubleBufferedPipeline` chunk scheduler.  See ``docs/streams.md``
+for semantics and determinism guarantees.
+"""
+
+from .core import AsyncOp, ComputeEngine, CopyEngine, Event, Stream
+from .device import StreamedGPU, SyncReport
+from .pipeline import DoubleBufferedPipeline
+
+__all__ = [
+    "AsyncOp",
+    "ComputeEngine",
+    "CopyEngine",
+    "DoubleBufferedPipeline",
+    "Event",
+    "Stream",
+    "StreamedGPU",
+    "SyncReport",
+]

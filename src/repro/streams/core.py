@@ -1,0 +1,188 @@
+"""Streams, events, and engine timelines — the asynchronous device model.
+
+The serial :class:`~repro.gpusim.engine.GPU` charges every operation
+back-to-back on one timeline.  Real devices do not work that way: a V100
+carries two dedicated copy engines (one per DMA direction) beside the
+compute scheduler, so an ``h2d`` of the next chunk, a kernel over the
+current chunk, and a ``d2h`` of the previous chunk's results all proceed
+concurrently.  This module supplies the pieces the paper's out-of-core
+pipelines need to model that:
+
+* :class:`Stream` — an ordered queue of operations.  Ops on one stream
+  never overlap each other; ops on different streams may.
+* :class:`Event` — a marker recorded on a stream; other streams
+  ``wait`` on it (the ``cudaEventRecord`` / ``cudaStreamWaitEvent``
+  pair).
+* :class:`CopyEngine` — a single-channel DMA timeline (FIFO: one copy
+  at a time per direction, back-to-back).
+* :class:`ComputeEngine` — a block-capacity scheduler: kernels from
+  different streams co-run while their combined thread-block demand
+  fits ``TB_max`` (concurrent kernel execution); a kernel that does
+  not fit waits for blocks to retire.
+
+Everything is deterministic: op start times are resolved *at enqueue*
+from (stream tail, event dependencies, engine availability), so two
+identical programs produce identical schedules — the property the perf
+gate's snapshot comparison relies on.
+
+Times inside this module are **relative seconds** — offsets from the
+moment the surrounding :class:`~repro.streams.device.StreamedGPU`
+region opened.  The wall clock (the ledger) only advances when the
+region synchronizes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+__all__ = [
+    "AsyncOp",
+    "ComputeEngine",
+    "CopyEngine",
+    "Event",
+    "Stream",
+]
+
+
+@dataclass(frozen=True)
+class AsyncOp:
+    """One scheduled asynchronous operation (resolved at enqueue)."""
+
+    name: str
+    category: str  # "kernel" | "transfer"
+    stream: str
+    engine: str  # "h2d" | "d2h" | "compute"
+    start_s: float
+    duration_s: float
+    nbytes: int = 0
+    blocks: int = 0
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+
+@dataclass
+class Stream:
+    """An ordered operation queue; ops on one stream serialize."""
+
+    name: str
+    #: end time of the last op enqueued on this stream (relative seconds)
+    tail_s: float = 0.0
+
+    def wait(self, event: "Event") -> None:
+        """All later ops on this stream start after ``event`` completes
+        (``cudaStreamWaitEvent``)."""
+        self.tail_s = max(self.tail_s, event.resolved_s)
+
+
+@dataclass
+class Event:
+    """A completion marker recorded on a stream (``cudaEventRecord``)."""
+
+    event_id: int
+    stream: str
+    #: completion time of the work preceding the record (relative seconds)
+    resolved_s: float
+
+
+class CopyEngine:
+    """A dedicated DMA engine: one transfer at a time, strictly FIFO.
+
+    The V100 exposes one such engine per direction, which is why a
+    double-buffered pipeline overlaps ``h2d``, compute and ``d2h`` but
+    two same-direction copies still serialize.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind  # "h2d" | "d2h"
+        self.tail_s = 0.0
+        self.busy_s = 0.0
+        self.ops = 0
+
+    def schedule(self, ready_s: float, duration_s: float) -> float:
+        """Book one DMA; returns its start time."""
+        start = max(ready_s, self.tail_s)
+        self.tail_s = start + duration_s
+        self.busy_s += duration_s
+        self.ops += 1
+        return start
+
+
+class ComputeEngine:
+    """Block-capacity kernel scheduler (concurrent kernel execution).
+
+    A kernel occupies ``min(blocks, capacity)`` of the device's
+    ``TB_max`` concurrent-block slots for its whole duration.  A new
+    kernel starts at the earliest time >= its ready time at which the
+    slots it needs are free for its entire run — the deterministic
+    list-schedule of CUDA's behaviour that small kernels from distinct
+    streams co-run while their block demand fits the device.
+
+    Per-kernel durations still come from the serial cost model (which
+    already derates a small kernel by its solo occupancy); co-running
+    two half-occupancy kernels therefore models exactly the occupancy
+    recovery that concurrent kernel execution buys on hardware.
+    """
+
+    def __init__(self, capacity_blocks: int) -> None:
+        self.capacity = max(1, int(capacity_blocks))
+        #: in-flight (start, end, blocks) intervals, pruned as time advances
+        self._inflight: list[tuple[float, float, int]] = []
+        self.tail_s = 0.0  # latest kernel end scheduled so far
+        self.busy_s = 0.0  # sum of kernel durations (not wall)
+        self.ops = 0
+
+    def _used_during(self, start: float, end: float) -> int:
+        """Peak block usage over ``[start, end)`` among in-flight kernels."""
+        # evaluate at every interval boundary inside the window (piecewise
+        # constant usage changes only at starts/ends)
+        points = {start}
+        for s, e, _ in self._inflight:
+            if s > start and s < end:
+                points.add(s)
+        peak = 0
+        for t in points:
+            used = sum(
+                b for s, e, b in self._inflight if s <= t < e
+            )
+            peak = max(peak, used)
+        return peak
+
+    def prune(self, before_s: float) -> None:
+        """Drop intervals that end at or before ``before_s`` (no future op
+        can start earlier, so they can never constrain a schedule again)."""
+        if self._inflight:
+            self._inflight = [
+                iv for iv in self._inflight if iv[1] > before_s
+            ]
+
+    def schedule(self, ready_s: float, duration_s: float,
+                 blocks: int) -> float:
+        """Book one kernel; returns its start time."""
+        need = min(max(1, int(blocks)), self.capacity)
+        # candidate start times: ready, then each in-flight end after it
+        candidates = sorted(
+            {ready_s}
+            | {e for _, e, _ in self._inflight if e > ready_s}
+        )
+        start = candidates[-1]
+        for t in candidates:
+            if self._used_during(t, t + duration_s) + need <= self.capacity:
+                start = t
+                break
+        self._inflight.append((start, start + duration_s, need))
+        self.tail_s = max(self.tail_s, start + duration_s)
+        self.busy_s += duration_s
+        self.ops += 1
+        return start
+
+
+#: process-wide event id source (ids only need to be unique per region,
+#: but a global counter keeps logs unambiguous across devices)
+_EVENT_IDS = itertools.count(1)
+
+
+def next_event_id() -> int:
+    return next(_EVENT_IDS)

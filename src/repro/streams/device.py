@@ -1,0 +1,389 @@
+"""`StreamedGPU` — the asynchronous device facade over a serial `GPU`.
+
+Wraps any :class:`~repro.gpusim.engine.GPU` (or proxy stack — tracing,
+fault injection, resilient retry) and adds ``*_async`` enqueue methods
+backed by the engine timelines of :mod:`repro.streams.core`:
+
+* one :class:`~repro.streams.core.CopyEngine` per DMA direction,
+* one :class:`~repro.streams.core.ComputeEngine` with the device's
+  ``TB_max`` concurrent-block capacity,
+* named :class:`~repro.streams.core.Stream` queues with
+  :class:`~repro.streams.core.Event` record/wait dependencies.
+
+Accounting contract (the part tests pin down):
+
+* **enqueue** books counters (``bytes_h2d``, ``kernel_launches`` …) and
+  per-category *busy* seconds via
+  :meth:`~repro.gpusim.ledger.TimeLedger.charge_busy` — identical values
+  to a serial run of the same op sequence;
+* **synchronize** charges the region's *makespan* (device "now" = max
+  over engine timelines) once, into the total and the enclosing phase
+  stack, and returns a :class:`SyncReport`;
+* any **serial** operation (``h2d``, ``launch_traversal``, …) on a
+  ``StreamedGPU`` synchronizes first — a serial op is a sync point, so
+  mixed serial/async code is always correct, merely unoverlapped.
+
+Fault injection composes at enqueue: if the wrapped stack contains a
+:class:`~repro.gpusim.faults.FaultInjector`, every async enqueue passes
+through its fault *gate* (same seeded draw sequence as serial
+interception) and may raise ``TransferError``/``KernelFaultError`` —
+"inside an in-flight async copy" from the pipeline's point of view.
+When the stack carries a retry policy (a
+:class:`~repro.core.resilient.ResilientGPU` below, or one passed
+explicitly), gated faults are retried with the same backoff schedule;
+the backoff pushes the issuing stream's timeline and is booked to the
+``retry`` bucket via ``charge_busy``, so the makespan carries the wall
+cost exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import RecoverableError
+from ..gpusim.engine import GPU, _check_nbytes
+from ..gpusim.faults import GPUProxy
+from .core import ComputeEngine, CopyEngine, Event, Stream, next_event_id
+
+__all__ = ["StreamedGPU", "SyncReport"]
+
+
+@dataclass(frozen=True)
+class SyncReport:
+    """What one synchronized async region looked like."""
+
+    makespan_s: float
+    h2d_busy_s: float
+    d2h_busy_s: float
+    compute_busy_s: float
+    h2d_ops: int
+    d2h_ops: int
+    compute_ops: int
+    n_streams: int
+
+    @property
+    def serial_s(self) -> float:
+        """What the same ops would cost back-to-back on one timeline."""
+        return self.h2d_busy_s + self.d2h_busy_s + self.compute_busy_s
+
+    @property
+    def saved_s(self) -> float:
+        """Wall seconds recovered by overlap vs the serial schedule."""
+        return max(0.0, self.serial_s - self.makespan_s)
+
+    @property
+    def overlap_efficiency(self) -> float:
+        """Fraction of serial time hidden by overlap (0 = none)."""
+        if self.serial_s <= 0:
+            return 0.0
+        return self.saved_s / self.serial_s
+
+    def utilization(self, engine: str) -> float:
+        """Busy fraction of one engine over the region's makespan."""
+        if self.makespan_s <= 0:
+            return 0.0
+        busy = {
+            "h2d": self.h2d_busy_s,
+            "d2h": self.d2h_busy_s,
+            "compute": self.compute_busy_s,
+        }[engine]
+        return busy / self.makespan_s
+
+    @staticmethod
+    def empty() -> "SyncReport":
+        return SyncReport(0.0, 0.0, 0.0, 0.0, 0, 0, 0, 0)
+
+    @staticmethod
+    def combine(reports: list["SyncReport"]) -> "SyncReport":
+        """Fold sequential regions into one aggregate view (makespans and
+        busy seconds add; regions never overlap each other)."""
+        return SyncReport(
+            makespan_s=sum(r.makespan_s for r in reports),
+            h2d_busy_s=sum(r.h2d_busy_s for r in reports),
+            d2h_busy_s=sum(r.d2h_busy_s for r in reports),
+            compute_busy_s=sum(r.compute_busy_s for r in reports),
+            h2d_ops=sum(r.h2d_ops for r in reports),
+            d2h_ops=sum(r.d2h_ops for r in reports),
+            compute_ops=sum(r.compute_ops for r in reports),
+            n_streams=max((r.n_streams for r in reports), default=0),
+        )
+
+
+class StreamedGPU(GPUProxy):
+    """Asynchronous facade: streams + copy engines over a serial ``GPU``.
+
+    Wrap *outermost* (``StreamedGPU(ResilientGPU(FaultInjector(gpu)))``)
+    so serial ops still pass through the whole stack and async enqueues
+    can find the fault gates and retry policy by delegation.
+    """
+
+    def __init__(self, inner: GPU, *, retry=None) -> None:
+        super().__init__(inner)
+        #: explicit retry policy for gated async faults; when ``None``
+        #: the wrapped stack's ``policy`` (ResilientGPU) is used if any
+        self.retry = retry
+        self._streams: dict[str, Stream] = {}
+        self._h2d_engine = CopyEngine("h2d")
+        self._d2h_engine = CopyEngine("d2h")
+        self._compute_engine = ComputeEngine(inner.spec.max_concurrent_blocks)
+        self._open = False
+        self._base_s = 0.0
+        self.reports: list[SyncReport] = []
+
+    # -- streams and events ------------------------------------------------
+    def stream(self, name: str) -> Stream:
+        """Get or create the named stream (objects persist across syncs)."""
+        return self._streams.setdefault(name, Stream(name))
+
+    def record_event(self, stream: str | Stream) -> Event:
+        """Mark the current tail of ``stream`` (``cudaEventRecord``)."""
+        st = self._resolve(stream)
+        return Event(next_event_id(), st.name, st.tail_s)
+
+    def wait_event(self, stream: str | Stream, event: Event) -> None:
+        """Make later ops on ``stream`` wait for ``event``
+        (``cudaStreamWaitEvent``)."""
+        self._resolve(stream).wait(event)
+
+    def _resolve(self, stream: str | Stream) -> Stream:
+        if isinstance(stream, Stream):
+            return self._streams.setdefault(stream.name, stream)
+        return self.stream(stream)
+
+    # -- region bookkeeping ------------------------------------------------
+    def _ensure_open(self) -> None:
+        if not self._open:
+            self._open = True
+            self._base_s = self.ledger.total_seconds
+
+    def _gated(self, gate_name: str, op: str, *gate_args) -> float:
+        """Run the fault gate (if any) with retry; returns the total
+        backoff delay to push onto the issuing stream's timeline."""
+        gate = getattr(self.inner, gate_name, None)
+        if gate is None:
+            return 0.0
+        policy = self.retry
+        if policy is None:
+            policy = getattr(self.inner, "policy", None)
+        if policy is None:
+            gate(op, *gate_args)  # an escaped fault is rung 2's problem
+            return 0.0
+        delay_total = 0.0
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                gate(op, *gate_args)
+                return delay_total
+            except RecoverableError as exc:
+                if attempt >= policy.max_attempts:
+                    raise
+                delay = policy.delay(attempt)
+                delay_total += delay
+                ledger = self.ledger
+                # busy-bucket only: the stream idles through the backoff,
+                # so the makespan (charged at sync) carries the wall cost
+                ledger.charge_busy(delay, "retry")
+                ledger.count("retries")
+                log = getattr(self.inner, "recovery_log", None)
+                if log is not None:
+                    log.record(
+                        "op-retry", f"async-{op}", attempt,
+                        ledger.total_seconds, detail=type(exc).__name__,
+                    )
+        raise AssertionError("unreachable")
+
+    def _trace(self, name: str, category: str, start_rel: float,
+               duration_s: float, stream: str, engine: str, **args) -> None:
+        rec = getattr(self.inner, "record_async", None)
+        if rec is not None:
+            rec(
+                name, category, self._base_s + start_rel, duration_s,
+                stream=stream, engine=engine, **args,
+            )
+
+    # -- asynchronous transfers -------------------------------------------
+    def h2d_async(self, nbytes: int, stream: str | Stream = "h2d",
+                  *, category: str | None = "transfer") -> Event:
+        """Enqueue a host->device DMA on the H2D copy engine; returns an
+        event resolved at the transfer's completion."""
+        return self._transfer_async("h2d", self._h2d_engine, nbytes,
+                                    stream, category)
+
+    def d2h_async(self, nbytes: int, stream: str | Stream = "d2h",
+                  *, category: str | None = "transfer") -> Event:
+        """Enqueue a device->host DMA on the D2H copy engine."""
+        return self._transfer_async("d2h", self._d2h_engine, nbytes,
+                                    stream, category)
+
+    def _transfer_async(self, op: str, engine: CopyEngine, nbytes: int,
+                        stream: str | Stream, category: str | None) -> Event:
+        nbytes = _check_nbytes(nbytes, op)
+        st = self._resolve(stream)
+        if nbytes == 0:  # no DMA issued — same no-op as the serial path
+            return Event(next_event_id(), st.name, st.tail_s)
+        delay = self._gated("transfer_fault_gate", op, nbytes)
+        self._ensure_open()
+        dur = self.cost.transfer_seconds(nbytes)
+        start = engine.schedule(st.tail_s + delay, dur)
+        st.tail_s = max(st.tail_s, start + dur)
+        ledger = self.ledger
+        if category is not None:
+            ledger.charge_busy(dur, category)
+        ledger.count(f"{op}_transfers")
+        ledger.count(f"bytes_{op}", nbytes)
+        self._trace(f"{op}_async", "transfer", start, dur,
+                    st.name, op, bytes=nbytes)
+        return Event(next_event_id(), st.name, start + dur)
+
+    # -- asynchronous kernels ---------------------------------------------
+    def launch_traversal_async(
+        self,
+        edges: int,
+        avg_degree: float,
+        blocks: int,
+        stream: str | Stream = "compute",
+        *,
+        from_device: bool = False,
+        compute_derate: float = 1.0,
+    ) -> Event:
+        """Enqueue a traversal kernel on the compute engine.  The kernel
+        occupies ``blocks`` of the device's concurrent-block slots for
+        its duration; kernels from other streams co-run while combined
+        demand fits (concurrent kernel execution)."""
+        secs = self.cost.gpu_traversal_seconds(
+            int(edges), avg_degree, int(blocks), self.spec
+        )
+        if compute_derate < 1.0:
+            secs /= max(compute_derate, 1e-6)
+        return self._kernel_async(
+            "traversal", secs, int(blocks), stream,
+            from_device=from_device, edges=int(edges),
+        )
+
+    def launch_numeric_async(
+        self,
+        flops: int,
+        blocks: int,
+        stream: str | Stream = "compute",
+        *,
+        concurrency_cap: int | None = None,
+        search_steps: int = 0,
+    ) -> Event:
+        """Enqueue a numeric kernel on the compute engine."""
+        cap = (
+            self.spec.max_concurrent_blocks
+            if concurrency_cap is None
+            else int(concurrency_cap)
+        )
+        secs = self.cost.gpu_numeric_seconds(
+            int(flops), int(blocks), cap, self.spec,
+            search_steps=int(search_steps),
+        )
+        return self._kernel_async(
+            "numeric", secs, int(blocks), stream, flops=int(flops),
+        )
+
+    def launch_utility_async(self, items: int,
+                             stream: str | Stream = "compute") -> Event:
+        """Enqueue a full-width utility kernel (prefix sum, compaction);
+        these are bandwidth-bound and occupy the whole device."""
+        secs = items / self.cost.gpu_traversal_edges_per_s
+        return self._kernel_async(
+            "utility", secs, self.spec.max_concurrent_blocks, stream,
+            items=int(items),
+        )
+
+    def _kernel_async(self, kind: str, secs: float, blocks: int,
+                      stream: str | Stream, *, from_device: bool = False,
+                      **trace_args) -> Event:
+        delay = self._gated("kernel_fault_gate", kind)
+        self._ensure_open()
+        st = self._resolve(stream)
+        dur = self.cost.launch_seconds(from_device=from_device) + secs
+        engine = self._compute_engine
+        engine.prune(min(s.tail_s for s in self._streams.values()))
+        start = engine.schedule(st.tail_s + delay, dur, blocks)
+        st.tail_s = max(st.tail_s, start + dur)
+        ledger = self.ledger
+        # the launch overhead contributes to the schedule (dur) but — as
+        # in the serial path — not to the gpu_compute bucket, so busy
+        # buckets stay comparable between serial and async runs
+        ledger.charge_busy(secs, "gpu_compute")
+        ledger.count(
+            "child_kernel_launches" if from_device else "kernel_launches"
+        )
+        self._trace(f"{kind}_kernel_async", "kernel", start, dur,
+                    st.name, "compute", blocks=int(blocks), **trace_args)
+        return Event(next_event_id(), st.name, start + dur)
+
+    # -- synchronization ---------------------------------------------------
+    def synchronize(self) -> SyncReport:
+        """Resolve the open async region: charge its makespan (once, into
+        the enclosing phase stack), reset all timelines, and report."""
+        if not self._open:
+            return SyncReport.empty()
+        h2d, d2h, comp = (
+            self._h2d_engine, self._d2h_engine, self._compute_engine
+        )
+        makespan = max(h2d.tail_s, d2h.tail_s, comp.tail_s)
+        self.ledger.charge(makespan, None)
+        report = SyncReport(
+            makespan_s=makespan,
+            h2d_busy_s=h2d.busy_s,
+            d2h_busy_s=d2h.busy_s,
+            compute_busy_s=comp.busy_s,
+            h2d_ops=h2d.ops,
+            d2h_ops=d2h.ops,
+            compute_ops=comp.ops,
+            n_streams=sum(1 for s in self._streams.values() if s.tail_s > 0),
+        )
+        self.reports.append(report)
+        for st in self._streams.values():
+            st.tail_s = 0.0
+        self._h2d_engine = CopyEngine("h2d")
+        self._d2h_engine = CopyEngine("d2h")
+        self._compute_engine = ComputeEngine(self.spec.max_concurrent_blocks)
+        self._open = False
+        return report
+
+    def combined_report(self) -> SyncReport:
+        """Aggregate of every synchronized region so far."""
+        return SyncReport.combine(self.reports)
+
+    # -- serial operations are sync points --------------------------------
+    # Any blocking op first drains the async region (CUDA's default-stream
+    # semantics): mixed code stays correct, just unoverlapped.
+    def h2d(self, nbytes: int, category: str | None = "transfer") -> None:
+        self.synchronize()
+        return self.inner.h2d(nbytes, category)
+
+    def d2h(self, nbytes: int, category: str | None = "transfer") -> None:
+        self.synchronize()
+        return self.inner.d2h(nbytes, category)
+
+    def launch_traversal(self, edges, avg_degree, blocks, *,
+                         from_device=False, compute_derate=1.0):
+        self.synchronize()
+        return self.inner.launch_traversal(
+            edges, avg_degree, blocks,
+            from_device=from_device, compute_derate=compute_derate,
+        )
+
+    def launch_numeric(self, flops, blocks, *, concurrency_cap=None,
+                       search_steps=0, from_device=False):
+        self.synchronize()
+        return self.inner.launch_numeric(
+            flops, blocks, concurrency_cap=concurrency_cap,
+            search_steps=search_steps, from_device=from_device,
+        )
+
+    def launch_utility(self, items, *, from_device=False):
+        self.synchronize()
+        return self.inner.launch_utility(items, from_device=from_device)
+
+    def hbm_traffic(self, nbytes: int):
+        self.synchronize()
+        return self.inner.hbm_traffic(nbytes)
+
+    def snapshot(self) -> dict:
+        self.synchronize()
+        return self.inner.snapshot()

@@ -1,0 +1,107 @@
+"""`DoubleBufferedPipeline` — the paper's chunk loop as an async schedule.
+
+The out-of-core phases (§3.2 Alg. 3/4, §3.4 Alg. 6) process a matrix in
+chunks: upload a chunk, run its kernels, drain its results.  On hardware
+this loop is pipelined with a pair of pinned host staging buffers: while
+chunk *i* computes, chunk *i+1* uploads into the other buffer and chunk
+*i-1*'s results drain — the two copy engines make both transfers free.
+
+This class encodes exactly that schedule on a
+:class:`~repro.streams.device.StreamedGPU`:
+
+* uploads go to the dedicated ``h2d`` stream, downloads to ``d2h``;
+* compute is dealt round-robin over ``compute_lanes`` streams, so
+  consecutive low-occupancy chunk kernels co-run when their combined
+  block demand fits the device (concurrent kernel execution);
+* a chunk's kernels wait on its upload event; its download waits on its
+  last kernel event;
+* with ``staging_buffers`` host buffers, the upload of chunk *i* waits
+  until chunk *i - staging_buffers* has been consumed by its kernel —
+  the double-buffer backpressure that bounds pinned-host footprint.
+
+The pipeline only *schedules*; callers still run the real algorithm
+(numpy) eagerly and enqueue the measured work counts, so results are
+bitwise-identical to the serial path by construction.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .core import Event, Stream
+from .device import StreamedGPU, SyncReport
+
+__all__ = ["DoubleBufferedPipeline"]
+
+
+class DoubleBufferedPipeline:
+    """Round-robin chunk pipeline over one :class:`StreamedGPU`."""
+
+    def __init__(
+        self,
+        gpu: StreamedGPU,
+        *,
+        compute_lanes: int = 2,
+        staging_buffers: int = 2,
+        name: str = "chunk",
+    ) -> None:
+        if compute_lanes < 1:
+            raise ValueError("compute_lanes must be >= 1")
+        if staging_buffers < 1:
+            raise ValueError("staging_buffers must be >= 1")
+        self.gpu = gpu
+        self.h2d_stream = gpu.stream(f"{name}-h2d")
+        self.d2h_stream = gpu.stream(f"{name}-d2h")
+        self.lanes: list[Stream] = [
+            gpu.stream(f"{name}-compute{i}") for i in range(compute_lanes)
+        ]
+        self.staging_buffers = staging_buffers
+        self.chunks_submitted = 0
+        #: kernel-completion events of in-flight chunks; popping the
+        #: oldest models its staging buffer being recycled
+        self._inflight: deque[Event] = deque()
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        upload_bytes: int,
+        compute,
+        download_bytes: int = 0,
+        *,
+        category: str | None = "transfer",
+    ) -> Event:
+        """Schedule one chunk: upload -> kernels -> optional download.
+
+        ``compute`` is called as ``compute(lane)`` with the chunk's
+        compute :class:`Stream`; it enqueues the chunk's kernels there
+        (``gpu.launch_*_async(..., lane)``) and may return the last
+        kernel's :class:`Event` (when it returns ``None`` the lane's
+        tail is recorded instead).  Returns the event after which the
+        chunk is fully complete (download if any, else last kernel).
+        """
+        gpu = self.gpu
+        lane = self.lanes[self.chunks_submitted % len(self.lanes)]
+        # staging backpressure: recycle the oldest buffer first
+        if len(self._inflight) >= self.staging_buffers:
+            gpu.wait_event(self.h2d_stream, self._inflight.popleft())
+        upload_ev = gpu.h2d_async(
+            upload_bytes, self.h2d_stream, category=category
+        )
+        gpu.wait_event(lane, upload_ev)
+        kernel_ev = compute(lane)
+        if kernel_ev is None:
+            kernel_ev = gpu.record_event(lane)
+        self._inflight.append(kernel_ev)
+        self.chunks_submitted += 1
+        if download_bytes:
+            gpu.wait_event(self.d2h_stream, kernel_ev)
+            return gpu.d2h_async(
+                download_bytes, self.d2h_stream, category=category
+            )
+        return kernel_ev
+
+    def drain(self) -> SyncReport:
+        """Synchronize the device and reset the pipeline for reuse."""
+        self._inflight.clear()
+        self.chunks_submitted = 0
+        return self.gpu.synchronize()

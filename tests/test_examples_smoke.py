@@ -18,6 +18,7 @@ FAST_EXAMPLES = [
     "quickstart.py",
     "gpu_scheduling.py",
     "out_of_core_demo.py",
+    "overlap.py",
     "serving.py",
 ]
 

@@ -1,5 +1,7 @@
 """Unified-memory pager: faults, grouping, LRU eviction, prefetch."""
 
+import dataclasses
+
 import pytest
 
 from repro.errors import HostMemoryError
@@ -124,3 +126,74 @@ class TestPrefetch:
         assert st["prefetched_bytes"] == 2 * 64 * 1024
         assert st["resident_pages"] == 2
         assert st["allocated_pages"] == 2
+
+
+class TestPrefetchAccounting:
+    """Prefetched bytes are charged exactly once, and only to one path:
+    the serial ``prefetch`` bucket *or* the ``transfer_submit`` router —
+    never both, and never again for already-resident pages."""
+
+    def test_prefetch_charged_exactly_once(self, gpu):
+        pager = UnifiedMemoryPager(gpu, prefetch_enabled=True)
+        r = pager.alloc(4 * 64 * 1024)
+        pager.prefetch(r)
+        expected = gpu.cost.um_prefetch_exposed * gpu.cost.transfer_seconds(
+            4 * 64 * 1024
+        )
+        assert gpu.ledger.seconds("prefetch") == pytest.approx(expected)
+        # the charge lands only in the prefetch bucket — no parallel
+        # booking into the plain transfer bucket
+        assert gpu.ledger.seconds("transfer") == 0
+        assert gpu.ledger.get_count("um_prefetched_pages") == 4
+
+    def test_resident_reprefetch_charges_nothing(self, gpu):
+        pager = UnifiedMemoryPager(gpu, prefetch_enabled=True)
+        r = pager.alloc(4 * 64 * 1024)
+        pager.prefetch(r)
+        once = gpu.ledger.seconds("prefetch")
+        pager.prefetch(r)  # all pages resident: a no-op
+        assert gpu.ledger.seconds("prefetch") == once
+        assert pager.prefetched_bytes == 4 * 64 * 1024
+        assert gpu.ledger.get_count("um_prefetched_pages") == 4
+        # and a subsequent kernel touch does not re-charge either
+        pager.touch(r)
+        assert gpu.ledger.seconds("prefetch") == once
+        assert gpu.ledger.seconds("fault_service") == 0
+
+    def test_transfer_submit_routes_bytes_instead_of_charging(self, gpu):
+        # overlap mode points this hook at the H2D copy engine; the
+        # serial analytic charge must then be suppressed entirely
+        pager = UnifiedMemoryPager(gpu, prefetch_enabled=True)
+        routed = []
+        pager.transfer_submit = routed.append
+        r = pager.alloc(3 * 64 * 1024)
+        pager.prefetch(r)
+        assert routed == [3 * 64 * 1024]
+        assert gpu.ledger.seconds("prefetch") == 0
+        # residency and observables are identical to the serial path
+        assert pager.prefetched_bytes == 3 * 64 * 1024
+        assert gpu.ledger.get_count("um_prefetched_pages") == 3
+        assert pager.touch(r) == 0
+        pager.prefetch(r)  # resident: the router is not called again
+        assert routed == [3 * 64 * 1024]
+
+    def test_no_prefetch_strictly_slower_on_table2_pattern(self):
+        """§4.3 / Table 3: on a Table-2-shaped workload the faulting UM
+        baseline is strictly slower than the prefetch-assisted one."""
+        from repro.baselines import unified_symbolic
+        from repro.core import SolverConfig
+        from repro.workloads.registry import by_abbr
+
+        spec = dataclasses.replace(by_abbr("OT2"), n_scaled=120)
+        a = spec.generate()
+        cfg = SolverConfig(
+            device=scaled_device(2 << 20), host=scaled_host(256 << 20)
+        )
+        g_np = GPU(spec=cfg.device, host=cfg.host, cost=cfg.cost_model)
+        g_p = GPU(spec=cfg.device, host=cfg.host, cost=cfg.cost_model)
+        t_np = unified_symbolic(g_np, a, cfg, prefetch=False).sim_seconds
+        t_p = unified_symbolic(g_p, a, cfg, prefetch=True).sim_seconds
+        assert t_p < t_np
+        assert g_np.ledger.seconds("fault_service") > g_p.ledger.seconds(
+            "fault_service"
+        )

@@ -1,0 +1,80 @@
+"""Streams layer 1: stream/event semantics and the engine timelines."""
+
+import pytest
+
+from repro.streams import ComputeEngine, CopyEngine, Event, Stream
+
+pytestmark = pytest.mark.streams
+
+
+class TestCopyEngine:
+    def test_fifo_back_to_back(self):
+        eng = CopyEngine("h2d")
+        assert eng.schedule(0.0, 1.0) == 0.0
+        # second copy is ready at 0.5 but the engine is busy until 1.0
+        assert eng.schedule(0.5, 1.0) == 1.0
+        assert eng.tail_s == 2.0
+
+    def test_idle_gap_respected(self):
+        eng = CopyEngine("d2h")
+        eng.schedule(0.0, 1.0)
+        # ready long after the engine drained: starts at its ready time
+        assert eng.schedule(5.0, 1.0) == 5.0
+
+    def test_busy_and_ops_accumulate(self):
+        eng = CopyEngine("h2d")
+        eng.schedule(0.0, 1.0)
+        eng.schedule(0.0, 2.5)
+        assert eng.busy_s == pytest.approx(3.5)
+        assert eng.ops == 2
+
+
+class TestComputeEngine:
+    def test_small_kernels_corun(self):
+        eng = ComputeEngine(4)
+        assert eng.schedule(0.0, 1.0, 2) == 0.0
+        assert eng.schedule(0.0, 1.0, 2) == 0.0  # fits beside the first
+        # third kernel of 2 blocks exceeds capacity 4: waits for retirement
+        assert eng.schedule(0.0, 1.0, 2) == 1.0
+
+    def test_full_width_kernels_serialize(self):
+        eng = ComputeEngine(4)
+        assert eng.schedule(0.0, 1.0, 4) == 0.0
+        assert eng.schedule(0.0, 1.0, 4) == 1.0
+
+    def test_oversized_kernel_clamped_to_capacity(self):
+        # blocks > TB_max is a grid larger than the device can co-run;
+        # it occupies the whole device, it does not deadlock
+        eng = ComputeEngine(4)
+        assert eng.schedule(0.0, 1.0, 1000) == 0.0
+        assert eng.schedule(0.0, 1.0, 1) == 1.0
+
+    def test_backfill_into_earliest_fit(self):
+        eng = ComputeEngine(4)
+        eng.schedule(0.0, 2.0, 3)  # occupies 3 blocks over [0, 2)
+        eng.schedule(0.0, 1.0, 1)  # co-runs over [0, 1)
+        # a 2-block kernel ready at 0 cannot fit until the 3-block one
+        # retires at t=2
+        assert eng.schedule(0.0, 1.0, 2) == 2.0
+
+    def test_prune_keeps_schedule_consistent(self):
+        eng = ComputeEngine(4)
+        eng.schedule(0.0, 1.0, 4)
+        eng.prune(1.0)  # the interval has retired
+        assert eng.schedule(1.0, 1.0, 4) == 1.0
+
+
+class TestStreamEvent:
+    def test_stream_ops_serialize_via_tail(self):
+        st = Stream("s")
+        assert st.tail_s == 0.0
+        st.tail_s = 3.0
+        ev = Event(1, "s", st.tail_s)
+        other = Stream("t")
+        other.wait(ev)
+        assert other.tail_s == 3.0
+
+    def test_wait_never_moves_tail_backwards(self):
+        st = Stream("s", tail_s=5.0)
+        st.wait(Event(2, "other", 1.0))
+        assert st.tail_s == 5.0
