@@ -20,6 +20,11 @@ Commands
               out-of-core chunk sizes; reports the simulated-seconds
               drop, copy-engine utilization and overlap efficiency
               (see docs/streams.md).
+``multigpu-bench`` strong/weak-scaling sweep of the end-to-end
+              multi-GPU solver over a device pool (1/2/4/8 by default);
+              reports makespan speedup, balance, reshard/halo traffic
+              and the bitwise results-identical flag per point
+              (see docs/multigpu.md).
 ``fault-drill``   run the four fault/recovery scenarios (flaky link,
               OOM storm, singular workload, dead device) and verify
               every one recovers or degrades to the CPU fallback, with
@@ -207,6 +212,22 @@ def cmd_overlap_bench(args) -> int:
     return 0 if all(r.results_identical for r in report.rows) else 1
 
 
+def cmd_multigpu_bench(args) -> int:
+    from .bench.multigpu import run_multigpu_bench
+
+    report = run_multigpu_bench(
+        abbr=args.matrix,
+        n=args.n,
+        devices=tuple(args.devices),
+        link=args.link,
+        overlap=args.overlap,
+        weak=args.weak,
+        smoke=not args.full,
+    )
+    print(report.format())
+    return 0 if report.all_identical else 1
+
+
 def cmd_fault_drill(args) -> int:
     from .bench.fault_drill import run_fault_drill_cli
 
@@ -338,7 +359,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("experiment",
                     choices=["fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
                              "table3", "table4", "serve_bench", "overlap",
-                             "all"])
+                             "multigpu", "all"])
     sp.add_argument("--fast", action="store_true")
     sp.set_defaults(fn=cmd_bench)
 
@@ -362,6 +383,33 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--full", action="store_true",
                     help="registry-scale instance instead of smoke size")
     sp.set_defaults(fn=cmd_overlap_bench)
+
+    sp = sub.add_parser(
+        "multigpu-bench",
+        help="strong/weak-scaling sweep of the end-to-end multi-GPU "
+             "solver (makespan speedup, balance, reshard/halo traffic, "
+             "bitwise results-identical check)",
+    )
+    sp.add_argument("--matrix", default="RM",
+                    help="workload-registry abbreviation (default RM, a "
+                         "transfer-light circuit pattern)")
+    sp.add_argument("--n", type=int, default=None,
+                    help="override instance rows (default: 400 smoke, "
+                         "640 with --full)")
+    sp.add_argument("--devices", type=int, nargs="+", default=[1, 2, 4, 8],
+                    help="device counts to sweep")
+    sp.add_argument("--link", default="pcie3",
+                    choices=["pcie3", "nvlink2"],
+                    help="interconnect preset for peer transfers")
+    sp.add_argument("--overlap", action="store_true",
+                    help="route halo sends through per-device copy "
+                         "engines instead of blocking the producer")
+    sp.add_argument("--weak", action="store_true",
+                    help="weak scaling: grow the instance with the pool "
+                         "(n x devices) and report grind efficiency")
+    sp.add_argument("--full", action="store_true",
+                    help="larger instance instead of smoke size")
+    sp.set_defaults(fn=cmd_multigpu_bench)
 
     sp = sub.add_parser(
         "serve-bench",

@@ -52,7 +52,13 @@ from .refactorize import (
 )
 from .autotune import AutotuneResult, TuneCandidate, autotune_symbolic
 from .btf_solver import BTFFactorization, factorize_btf
-from .multigpu import MultiGpuSymbolicResult, multi_gpu_symbolic
+from .multigpu import (
+    MultiGpuEndToEndResult,
+    MultiGpuSolver,
+    MultiGpuSymbolicResult,
+    multi_gpu_endtoend,
+    multi_gpu_symbolic,
+)
 from .trisolve_gpu import GpuSolveResult, solve_gpu
 from .pipeline import EndToEndLU, EndToEndResult, PhaseBreakdown
 from .solver import factorize, solve
@@ -82,6 +88,9 @@ __all__ = [
     "BTFFactorization",
     "multi_gpu_symbolic",
     "MultiGpuSymbolicResult",
+    "multi_gpu_endtoend",
+    "MultiGpuEndToEndResult",
+    "MultiGpuSolver",
     "autotune_symbolic",
     "AutotuneResult",
     "TuneCandidate",

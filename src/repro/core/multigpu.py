@@ -1,17 +1,45 @@
-"""Scale-out symbolic factorization across multiple simulated devices.
+"""Scale-out execution across multiple simulated devices.
 
 GSOFA — the prior GPU symbolic work the paper builds on — is a distributed
 system ("up to 44 nodes and 264 GPUs", §2.1); the paper keeps its
-single-GPU focus but inherits the property that makes scale-out trivial:
-*fill2 source rows are independent*.  This module partitions the source
-rows across ``num_devices`` simulated GPUs (each running the out-of-core
-scheme on its shard) and reports the makespan, plus per-device ledgers.
+single-GPU focus but inherits the property that makes scale-out trivial
+for the symbolic phase: *fill2 source rows are independent*.  This module
+provides two layers on top of that observation:
 
-Partitioning interleaves fixed-size row blocks round-robin across devices
-(cyclic block assignment): every device receives blocks from the cheap head
-*and* the expensive tail, which balances both the modelled traversal work
-and the occupancy profile — a contiguous split would hand some device a few
-high-frontier rows that cannot fill its chunks.
+* :func:`multi_gpu_symbolic` — the original symbolic-only sweep: source
+  rows are partitioned into cyclic row blocks and every device runs the
+  two-stage out-of-core scheme on its shard.
+* :class:`MultiGpuSolver` / :func:`multi_gpu_endtoend` — the full
+  pipeline sharded end-to-end.  The numeric phase (Algorithm 6 level
+  scheduling) is column-sharded with a *cyclic level-aware* assignment:
+  within level ``k``, the i-th column goes to device ``(i + k) % D``, so
+  every device owns a slice of every level (narrow tail levels included)
+  and the per-level load stays balanced without a partitioner.
+
+Two traffic classes ride the modeled interconnect
+(:mod:`repro.gpusim.interconnect`):
+
+* **reshard** — after the row-sharded symbolic phase each device holds a
+  row slice of the filled matrix but needs its *column* shard for
+  numeric; the redistribution is an all-to-all of the row-block ∩
+  column-shard intersections, peer DMA per device pair.
+* **halo exchange** — GLU 3.0's level sets make cross-shard numeric
+  dependencies enumerable: a column in level ``k`` only reads columns
+  from levels ``< k``, so after computing level ``k`` each device sends
+  every column some other device's later column reads, batched into one
+  transfer per (source, destination, level).
+
+With ``overlap=False`` sends are synchronous (the producer's clock
+advances over the wire time).  With ``overlap=True`` each device routes
+its outgoing transfers through a dedicated :class:`repro.streams.core`
+-style copy engine: the send is booked at enqueue (busy seconds only)
+and the producer continues computing; receivers still gate on arrival.
+
+Factor *values* never travel through any of this: the numeric result is
+computed once by the exact deterministic code path the single-device
+pipeline uses, so factors, fill pattern and pivot sequence are bitwise
+identical at every device count — the differential test layer's
+contract.  Device count changes only the simulated timeline.
 """
 
 from __future__ import annotations
@@ -21,7 +49,22 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..gpusim import GPU, DeviceSpec, HostSpec
-from ..sparse import CSRMatrix
+from ..gpusim.interconnect import Interconnect, LinkSpec, link_preset
+from ..graph import (
+    DependencyGraph,
+    LevelSchedule,
+    build_dependency_graph,
+    kahn_levels,
+    sub_column_counts,
+)
+from ..numeric import (
+    NumericStats,
+    extract_lu,
+    factorize_in_place,
+    lu_solve_permuted,
+)
+from ..preprocess import PreprocessResult, preprocess
+from ..sparse import CSCMatrix, CSRMatrix
 from ..symbolic import (
     chunk_blocks,
     frontier_counts,
@@ -29,6 +72,20 @@ from ..symbolic import (
     traversal_edges_per_row,
 )
 from .config import SolverConfig
+from .levelize_gpu import (
+    levelize_cpu_serial,
+    levelize_gpu_dynamic,
+    levelize_gpu_hostlaunch,
+)
+from .numeric_gpu import WARP_TEAMS_PER_BLOCK, choose_format
+
+__all__ = [
+    "MultiGpuSymbolicResult",
+    "MultiGpuEndToEndResult",
+    "MultiGpuSolver",
+    "multi_gpu_symbolic",
+    "multi_gpu_endtoend",
+]
 
 
 @dataclass
@@ -107,6 +164,78 @@ def _cyclic_blocks(
     return out
 
 
+def _run_symbolic_shard(
+    gpu: GPU,
+    a: CSRMatrix,
+    blocks: list[tuple[int, int]],
+    *,
+    edges: np.ndarray,
+    frontier: np.ndarray,
+    fill_count: np.ndarray,
+    avg_degree: float,
+    config: SolverConfig,
+    ship_to_host: bool,
+):
+    """Charge one device's row-shard of the two-stage symbolic scheme.
+
+    Returns ``(graph_bufs, out_buf, shard_fill_bytes)``; with
+    ``ship_to_host`` the shard is d2h'd and everything freed (the
+    symbolic-only gather), otherwise the graph and shard buffers stay
+    resident for the numeric phase and are returned live.
+    """
+    n = a.n_rows
+    idx, val = config.index_bytes, config.value_bytes
+    block_rows = gpu.spec.max_concurrent_blocks
+    conservative = config.scratch_bytes_per_row(n)
+    with gpu.ledger.phase("symbolic"):
+        graph_bufs = [
+            gpu.malloc((n + 1) * idx, "A.indptr"),
+            gpu.malloc(a.nnz * idx, "A.indices"),
+            gpu.malloc(a.nnz * val, "A.values"),
+            gpu.malloc(n * idx, "fill_count shard"),
+        ]
+        gpu.h2d((n + 1) * idx + a.nnz * (idx + val))
+        shard_rows = sum(hi - lo for lo, hi in blocks)
+        shard_fill = sum(
+            int(fill_count[lo:hi].sum()) for lo, hi in blocks
+        )
+        shard_fill_bytes = (shard_rows + 1) * idx + shard_fill * (
+            idx + val
+        )
+        out_buf = gpu.malloc(shard_fill_bytes, "factorized shard")
+        # how many rows of a block fit a scratch chunk on this device
+        sub = max(1, min(block_rows,
+                         gpu.free_bytes // max(conservative, 1)))
+        for stage in range(2):
+            for lo, hi in blocks:
+                for start in range(lo, hi, sub):
+                    end = min(start + sub, hi)
+                    scratch = gpu.malloc(
+                        (end - start) * conservative, "shard scratch"
+                    )
+                    work = int(edges[start:end].sum())
+                    if stage == 1:
+                        work += int(fill_count[start:end].sum())
+                    gpu.launch_traversal(
+                        edges=work,
+                        avg_degree=avg_degree,
+                        blocks=chunk_blocks(frontier[start:end]),
+                    )
+                    gpu.free(scratch)
+            if stage == 0:
+                gpu.launch_utility(shard_rows)
+                gpu.d2h(8)
+        if ship_to_host:
+            # shards ship their slice of the factorized matrix back for
+            # assembly (the gather step of the distributed scheme)
+            gpu.d2h(shard_fill_bytes)
+            gpu.free(out_buf)
+            for buf in graph_bufs:
+                gpu.free(buf)
+            return [], None, shard_fill_bytes
+    return graph_bufs, out_buf, shard_fill_bytes
+
+
 def multi_gpu_symbolic(
     a: CSRMatrix,
     config: SolverConfig,
@@ -132,66 +261,23 @@ def multi_gpu_symbolic(
     dev = device or config.device
     hst = host or config.host
     n = a.n_rows
-    idx, val = config.index_bytes, config.value_bytes
 
     filled = symbolic_fill_reference(a)
     edges = traversal_edges_per_row(a, filled)
     frontier = frontier_counts(filled)
     fill_count = filled.row_nnz().astype(np.int64)
     avg_degree = a.nnz / max(n, 1)
-    block_rows = dev.max_concurrent_blocks
-    assignment = _cyclic_blocks(n, num_devices, block_rows)
+    assignment = _cyclic_blocks(n, num_devices, dev.max_concurrent_blocks)
 
-    conservative = config.scratch_bytes_per_row(n)
     gpus: list[GPU] = []
     shard_seconds: list[float] = []
     for d in range(num_devices):
         gpu = GPU(spec=dev, host=hst, cost=config.cost_model)
-        blocks = assignment[d]
-        with gpu.ledger.phase("symbolic"):
-            graph_bufs = [
-                gpu.malloc((n + 1) * idx, "A.indptr"),
-                gpu.malloc(a.nnz * idx, "A.indices"),
-                gpu.malloc(a.nnz * val, "A.values"),
-                gpu.malloc(n * idx, "fill_count shard"),
-            ]
-            gpu.h2d((n + 1) * idx + a.nnz * (idx + val))
-            shard_rows = sum(hi - lo for lo, hi in blocks)
-            shard_fill = sum(
-                int(fill_count[lo:hi].sum()) for lo, hi in blocks
-            )
-            shard_fill_bytes = (shard_rows + 1) * idx + shard_fill * (
-                idx + val
-            )
-            out_buf = gpu.malloc(shard_fill_bytes, "factorized shard")
-            # how many rows of a block fit a scratch chunk on this device
-            sub = max(1, min(block_rows,
-                             gpu.free_bytes // max(conservative, 1)))
-            for stage in range(2):
-                for lo, hi in blocks:
-                    for start in range(lo, hi, sub):
-                        end = min(start + sub, hi)
-                        scratch = gpu.malloc(
-                            (end - start) * conservative, "shard scratch"
-                        )
-                        work = int(edges[start:end].sum())
-                        if stage == 1:
-                            work += int(fill_count[start:end].sum())
-                        gpu.launch_traversal(
-                            edges=work,
-                            avg_degree=avg_degree,
-                            blocks=chunk_blocks(frontier[start:end]),
-                        )
-                        gpu.free(scratch)
-                if stage == 0:
-                    gpu.launch_utility(shard_rows)
-                    gpu.d2h(8)
-            # shards ship their slice of the factorized matrix back for
-            # assembly (the gather step of the distributed scheme)
-            gpu.d2h(shard_fill_bytes)
-            gpu.free(out_buf)
-            for buf in graph_bufs:
-                gpu.free(buf)
+        _run_symbolic_shard(
+            gpu, a, assignment[d],
+            edges=edges, frontier=frontier, fill_count=fill_count,
+            avg_degree=avg_degree, config=config, ship_to_host=True,
+        )
         gpus.append(gpu)
         shard_seconds.append(gpu.ledger.total_seconds)
 
@@ -201,3 +287,582 @@ def multi_gpu_symbolic(
         shard_seconds=shard_seconds,
         gpus=gpus,
     )
+
+
+# ---------------------------------------------------------------------------
+# end-to-end multi-GPU
+# ---------------------------------------------------------------------------
+
+
+class _P2POutEngine:
+    """Per-device outgoing copy engine (``overlap=True``): the same
+    single-channel FIFO contract as :class:`repro.streams.core.CopyEngine`,
+    but booking against the absolute multi-device timeline."""
+
+    def __init__(self) -> None:
+        self.tail_s = 0.0
+        self.busy_s = 0.0
+        self.ops = 0
+
+
+@dataclass
+class MultiGpuEndToEndResult:
+    """Factors + permutations + the sharded execution record."""
+
+    L: CSCMatrix
+    U: CSCMatrix
+    pre: PreprocessResult
+    filled: CSRMatrix
+    graph: DependencyGraph
+    schedule: LevelSchedule
+    stats: NumericStats
+    #: owning device per column (cyclic level-aware assignment)
+    owner: np.ndarray
+    gpus: list[GPU]
+    interconnect: Interconnect
+    link: LinkSpec
+    overlap: bool
+    data_format: str
+    shard_seconds: list[float]
+    #: all-to-all bytes of the post-symbolic redistribution
+    reshard_bytes: int
+    #: per-level dependency-column exchange bytes
+    halo_bytes: int
+    #: number of batched halo transfers booked
+    halo_batches: int
+
+    # -- solving --------------------------------------------------------
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``A x = b`` for the original (pre-permutation) matrix."""
+        return lu_solve_permuted(
+            self.L,
+            self.U,
+            b,
+            row_perm=self.pre.row_perm,
+            col_perm=self.pre.col_perm,
+            row_scale=self.pre.row_scale,
+            col_scale=self.pre.col_scale,
+        )
+
+    @property
+    def pivot_sequence(self) -> np.ndarray:
+        """The diagonal of ``U`` in elimination order — the quantity the
+        differential harness compares bitwise across device counts."""
+        n = self.U.n_cols
+        diag = np.zeros(n, dtype=self.U.data.dtype)
+        for j in range(n):
+            s, e = int(self.U.indptr[j]), int(self.U.indptr[j + 1])
+            rows = self.U.indices[s:e]
+            pos = int(np.searchsorted(rows, j))
+            if pos < len(rows) and rows[pos] == j:
+                diag[j] = self.U.data[s + pos]
+        return diag
+
+    # -- reporting ------------------------------------------------------
+    @property
+    def num_devices(self) -> int:
+        return len(self.gpus)
+
+    @property
+    def makespan_seconds(self) -> float:
+        return max(self.shard_seconds)
+
+    @property
+    def total_device_seconds(self) -> float:
+        return sum(self.shard_seconds)
+
+    def balance(self) -> float:
+        """min/max device busy time — 1.0 is perfect balance."""
+        return min(self.shard_seconds) / max(self.shard_seconds)
+
+    def speedup_vs(self, single_device_seconds: float) -> float:
+        return single_device_seconds / self.makespan_seconds
+
+    @property
+    def halo_wait_seconds(self) -> float:
+        """Summed receiver stalls on halo / reshard arrivals."""
+        return sum(
+            g.ledger.seconds("interconnect_wait") for g in self.gpus
+        )
+
+    def traffic_breakdown(self) -> dict:
+        """Per-link traffic plus the reshard/halo class split."""
+        out = self.interconnect.traffic_breakdown()
+        out["reshard_bytes"] = int(self.reshard_bytes)
+        out["halo_bytes"] = int(self.halo_bytes)
+        out["halo_batches"] = int(self.halo_batches)
+        return out
+
+    def perf_record(self) -> dict:
+        """Machine-readable execution record for the perf-snapshot suite
+        (exact ``counters`` / banded ``timings`` / exact ``labels``)."""
+        inter = self.interconnect
+        counters = {
+            "num_devices": int(self.num_devices),
+            "n": int(self.pre.matrix.n_rows),
+            "nnz": int(self.pre.matrix.nnz),
+            "filled_nnz": int(self.filled.nnz),
+            "levels": int(self.schedule.num_levels),
+            "p2p_transfers": int(inter.total_transfers),
+            "bytes_p2p": int(inter.total_bytes),
+            "reshard_bytes": int(self.reshard_bytes),
+            "halo_bytes": int(self.halo_bytes),
+            "halo_batches": int(self.halo_batches),
+            "kernel_launches": sum(
+                g.ledger.get_count("kernel_launches") for g in self.gpus
+            ),
+            "bytes_h2d": sum(
+                g.ledger.get_count("bytes_h2d") for g in self.gpus
+            ),
+            "bytes_d2h": sum(
+                g.ledger.get_count("bytes_d2h") for g in self.gpus
+            ),
+            "pool_peak_bytes_max": max(
+                int(g.pool.peak_bytes) for g in self.gpus
+            ),
+        }
+        timings = {
+            "makespan_seconds": float(self.makespan_seconds),
+            "total_device_seconds": float(self.total_device_seconds),
+            "balance": float(self.balance()),
+            "halo_wait_seconds": float(self.halo_wait_seconds),
+            "interconnect_busy_seconds": float(
+                sum(
+                    lk["busy_seconds"]
+                    for lk in inter.traffic_breakdown()["links"].values()
+                )
+            ),
+        }
+        labels = {
+            "partition": "cyclic-level",
+            "link": self.link.name,
+            "numeric_format": str(self.data_format),
+            "overlap": "on" if self.overlap else "off",
+        }
+        return {"counters": counters, "timings": timings, "labels": labels}
+
+    def report(self) -> str:
+        """Human-readable execution summary."""
+        lines = [
+            f"multi-GPU end-to-end LU on {self.num_devices} device(s) "
+            f"[{self.link.name}, overlap "
+            f"{'on' if self.overlap else 'off'}]",
+            f"  matrix: n={self.pre.matrix.n_rows}, "
+            f"nnz={self.pre.matrix.nnz}, filled nnz {self.filled.nnz}; "
+            f"{self.schedule.num_levels} levels, "
+            f"format {self.data_format}",
+            f"  makespan {self.makespan_seconds * 1e3:.3f} ms "
+            f"(balance {self.balance():.2f}, "
+            f"device-seconds {self.total_device_seconds * 1e3:.3f} ms)",
+            f"  p2p: {self.interconnect.total_transfers} transfers, "
+            f"{self.interconnect.total_bytes} B "
+            f"(reshard {self.reshard_bytes} B, halo {self.halo_bytes} B "
+            f"in {self.halo_batches} batches); "
+            f"receiver stalls {self.halo_wait_seconds * 1e3:.3f} ms",
+        ]
+        return "\n".join(lines)
+
+    def to_chrome_trace(self) -> list[dict]:
+        """Interconnect lanes (the device ledgers are not traced here)."""
+        return self.interconnect.to_chrome_trace()
+
+
+def _cyclic_level_owner(
+    schedule: LevelSchedule, num_devices: int
+) -> np.ndarray:
+    """Cyclic level-aware column → device assignment.
+
+    Within level ``k`` the i-th column goes to device ``(i + k) % D``;
+    the ``+ k`` rotation keeps single-column tail levels from always
+    landing on device 0.
+    """
+    owner = np.zeros(schedule.n, dtype=np.int64)
+    for k, level in enumerate(schedule.levels):
+        owner[np.asarray(level, dtype=np.int64)] = (
+            np.arange(len(level), dtype=np.int64) + k
+        ) % num_devices
+    return owner
+
+
+def _reshard_matrix(
+    As: CSCMatrix,
+    owner: np.ndarray,
+    block_rows: int,
+    num_devices: int,
+    entry_bytes: int,
+) -> np.ndarray:
+    """All-to-all byte matrix of the row-shard → column-shard shuffle.
+
+    Entry ``(s, d)``: bytes of filled entries that live in device ``s``'s
+    cyclic row blocks but belong to device ``d``'s column shard.
+    """
+    d = num_devices
+    rows = As.indices.astype(np.int64)
+    cols = As.col_ids_of_entries().astype(np.int64)
+    row_dev = (rows // block_rows) % d
+    col_dev = owner[cols]
+    pair = row_dev * d + col_dev
+    counts = np.bincount(pair, minlength=d * d).reshape(d, d)
+    return counts * entry_bytes
+
+
+def _halo_batches(
+    As: CSCMatrix,
+    owner: np.ndarray,
+    schedule: LevelSchedule,
+    col_bytes: np.ndarray,
+    num_devices: int,
+) -> dict[int, list[tuple[int, int, int, int, int]]]:
+    """Enumerate the per-level halo exchange from the filled pattern.
+
+    A column ``c`` in level ``m`` reads every column ``j`` with
+    ``U(j, c) != 0`` (the upper entries of ``c``'s CSC column); when
+    ``owner[j] != owner[c]`` column ``j`` must be shipped.  Transfers
+    batch per (producer level, source, destination): one message carrying
+    all columns that pair exchanges at that level.
+
+    Returns ``{produce_level: [(src, dst, nbytes, ncols, need_level)]}``
+    with ``need_level`` the earliest level of the destination that reads
+    any column in the batch (its arrival gate), lists sorted by
+    ``(src, dst)`` for deterministic booking.
+    """
+    rows = As.indices.astype(np.int64)
+    cols = As.col_ids_of_entries().astype(np.int64)
+    upper = rows < cols
+    src_col = rows[upper]
+    dst_col = cols[upper]
+    src_dev = owner[src_col]
+    dst_dev = owner[dst_col]
+    cross = src_dev != dst_dev
+    if not np.any(cross):
+        return {}
+    j = src_col[cross]
+    dd = dst_dev[cross]
+    need = schedule.level_of[dst_col[cross]].astype(np.int64)
+    # one shipment per (column, destination): earliest consuming level
+    key = j * np.int64(num_devices) + dd
+    order = np.lexsort((need, key))
+    key_s, j_s, dd_s, need_s = key[order], j[order], dd[order], need[order]
+    first = np.ones(len(key_s), dtype=bool)
+    first[1:] = key_s[1:] != key_s[:-1]
+    j_u, dd_u, need_u = j_s[first], dd_s[first], need_s[first]
+    produce = schedule.level_of[j_u].astype(np.int64)
+    src_u = owner[j_u]
+    # aggregate per (produce_level, src, dst)
+    agg: dict[tuple[int, int, int], list[int]] = {}
+    for lvl, s, d2, col, nd in zip(produce, src_u, dd_u, j_u, need_u):
+        slot = agg.setdefault((int(lvl), int(s), int(d2)), [0, 0, 1 << 62])
+        slot[0] += int(col_bytes[col])
+        slot[1] += 1
+        slot[2] = min(slot[2], int(nd))
+    out: dict[int, list[tuple[int, int, int, int, int]]] = {}
+    for (lvl, s, d2) in sorted(agg):
+        nbytes, ncols, need_min = agg[(lvl, s, d2)]
+        out.setdefault(lvl, []).append((s, d2, nbytes, ncols, need_min))
+    return out
+
+
+def multi_gpu_endtoend(
+    a: CSRMatrix,
+    config: SolverConfig | None = None,
+    *,
+    num_devices: int,
+    link: LinkSpec | str = "pcie3",
+    overlap: bool | None = None,
+    device: DeviceSpec | None = None,
+    host: HostSpec | None = None,
+) -> MultiGpuEndToEndResult:
+    """Run the full pipeline sharded over ``num_devices`` devices.
+
+    The numeric result is computed once through the single-device code
+    path (preprocess → reference fill → dependency graph → Kahn levels →
+    in-place right-looking factorization), then the per-device timeline
+    is simulated: row-sharded symbolic, replicated levelization, the
+    reshard all-to-all, level-by-level numeric with halo exchange, and
+    the final factor download.  See the module docstring for the model.
+    """
+    config = config or SolverConfig()
+    if num_devices < 1:
+        raise ValueError("num_devices must be >= 1")
+    overlap = config.overlap if overlap is None else bool(overlap)
+    spec = link_preset(link) if isinstance(link, str) else link
+    dev = device or config.device
+    hst = host or config.host
+    idx, val = config.index_bytes, config.value_bytes
+    d_count = int(num_devices)
+
+    # ---- the math, once (device count cannot influence values) --------
+    pre = preprocess(a, config.preprocess)
+    work = pre.matrix
+    n = work.n_rows
+    filled = symbolic_fill_reference(work)
+    graph = build_dependency_graph(filled)
+    lev_graph = graph
+    if config.prune_dependency_edges:
+        from ..graph import sparsify_for_levels
+
+        lev_graph, _ = sparsify_for_levels(graph)
+    schedule = kahn_levels(lev_graph)
+    owner = _cyclic_level_owner(schedule, d_count)
+
+    As = filled.to_csc()
+    if As.data.dtype != config.compute_dtype:
+        As = As.astype(config.compute_dtype)
+
+    # ---- per-device symbolic (row shards) + replicated levelize -------
+    edges = traversal_edges_per_row(work, filled)
+    frontier = frontier_counts(filled)
+    fill_count = filled.row_nnz().astype(np.int64)
+    avg_degree = work.nnz / max(n, 1)
+    block_rows = dev.max_concurrent_blocks
+    row_blocks = _cyclic_blocks(n, d_count, block_rows)
+
+    gpus: list[GPU] = []
+    residents: list[dict] = []
+    for d in range(d_count):
+        gpu = GPU(spec=dev, host=hst, cost=config.cost_model)
+        graph_bufs, out_buf, _ = _run_symbolic_shard(
+            gpu, work, row_blocks[d],
+            edges=edges, frontier=frontier, fill_count=fill_count,
+            avg_degree=avg_degree, config=config, ship_to_host=False,
+        )
+        if not config.levelize_on_gpu:
+            levelize_cpu_serial(gpu, lev_graph)
+        elif config.levelize_dynamic_parallelism:
+            levelize_gpu_dynamic(gpu, lev_graph, config)
+        else:
+            levelize_gpu_hostlaunch(gpu, lev_graph, config)
+        gpus.append(gpu)
+        residents.append({"graph": graph_bufs, "rows": out_buf})
+
+    inter = Interconnect(d_count, spec)
+    out_engines = [_P2POutEngine() for _ in range(d_count)]
+    clock = [g.ledger.total_seconds for g in gpus]
+    #: device → {gate level: required arrival time}
+    gates: list[dict[int, float]] = [dict() for _ in range(d_count)]
+
+    def book_send(
+        src: int, dst: int, nbytes: int, tag: str, gate_level: int
+    ) -> None:
+        gpu_s = gpus[src]
+        if overlap:
+            eng = out_engines[src]
+            ready = max(clock[src], eng.tail_s)
+            tr = inter.transfer(src, dst, nbytes, ready, tag=tag)
+            eng.tail_s = tr.end_s
+            eng.busy_s += tr.duration_s
+            eng.ops += 1
+            gpu_s.ledger.charge_busy(tr.duration_s, "p2p_send")
+        else:
+            tr = inter.transfer(src, dst, nbytes, clock[src], tag=tag)
+            gpu_s.ledger.charge_aside(tr.end_s - clock[src], "p2p_send")
+            clock[src] = gpu_s.ledger.total_seconds
+        gpu_s.ledger.count("p2p_sends")
+        gpu_s.ledger.count("bytes_p2p_out", int(nbytes))
+        gpus[dst].ledger.count("bytes_p2p_in", int(nbytes))
+        g = gates[dst]
+        g[gate_level] = max(g.get(gate_level, 0.0), tr.end_s)
+
+    def wait_for(d: int, level: int) -> None:
+        """Stall device ``d`` until everything gated at <= level arrived."""
+        due = 0.0
+        for lvl in sorted(gates[d]):
+            if lvl > level:
+                break
+            due = max(due, gates[d].pop(lvl))
+        # re-queue nothing: popped gates are satisfied below
+        if due > clock[d]:
+            gpus[d].ledger.charge_aside(
+                due - clock[d], "interconnect_wait"
+            )
+            clock[d] = gpus[d].ledger.total_seconds
+
+    # ---- reshard all-to-all (row shards → column shards) --------------
+    col_nnz = np.diff(As.indptr).astype(np.int64)
+    col_bytes = idx + col_nnz * (idx + val)
+    reshard = _reshard_matrix(As, owner, block_rows, d_count, idx + val)
+    reshard_total = 0
+    for s in range(d_count):
+        for d2 in range(d_count):
+            if s == d2 or reshard[s][d2] == 0:
+                continue
+            book_send(s, d2, int(reshard[s][d2]), "reshard", gate_level=0)
+            reshard_total += int(reshard[s][d2])
+
+    # ---- numeric residents + format choice ----------------------------
+    own_nnz = np.zeros(d_count, dtype=np.int64)
+    own_cols = np.zeros(d_count, dtype=np.int64)
+    np.add.at(own_nnz, owner, col_nnz)
+    np.add.at(own_cols, owner, 1)
+    for d in range(d_count):
+        gpu = gpus[d]
+        # the row shard is consumed by the reshard; its buffer is reused
+        if residents[d]["rows"] is not None:
+            gpu.free(residents[d]["rows"])
+            residents[d]["rows"] = None
+        shard_bytes = int(
+            (own_cols[d] + 1) * idx + own_nnz[d] * (idx + val)
+        )
+        residents[d]["as"] = gpu.malloc(max(1, shard_bytes), "As shard")
+        residents[d]["as_bytes"] = shard_bytes
+    fmt, cap = choose_format(gpus[0], n, config)
+    for d in range(d_count):
+        if fmt == "dense":
+            residents[d]["dense"] = gpus[d].malloc(
+                max(1, cap) * n * val, "dense column buffers"
+            )
+        else:
+            residents[d]["dense"] = None
+
+    # factor values, computed once — the single-device code path
+    stats = factorize_in_place(
+        As, filled, schedule,
+        pivot_tolerance=config.pivot_tolerance,
+        count_search_steps=(fmt == "csc"),
+    )
+    L, U = extract_lu(As)
+
+    # per-column structural weight for apportioning level work: division
+    # flops + pushed updates (lower nnz x sub-columns), floored at 1
+    sub_cols = sub_column_counts(filled)
+    lower_nnz = np.maximum(col_nnz - 1, 0)
+    colwork = (1 + lower_nnz + lower_nnz * sub_cols).astype(np.float64)
+    tags = schedule.classify_levels(sub_cols)
+    halo = _halo_batches(As, owner, schedule, col_bytes, d_count)
+    halo_total = 0
+    halo_batches = 0
+
+    # ---- level loop: wait → compute shard → send halo -----------------
+    for k, level in enumerate(schedule.levels):
+        flops, cols, updates, search = stats.per_level[k]
+        level_idx = np.asarray(level, dtype=np.int64)
+        level_owner = owner[level_idx]
+        level_weight = float(colwork[level_idx].sum())
+        for d in range(d_count):
+            wait_for(d, k)
+            mask = level_owner == d
+            ncols_d = int(mask.sum())
+            if ncols_d == 0 or cols == 0:
+                continue
+            owned = level_idx[mask]
+            share = float(colwork[owned].sum()) / max(level_weight, 1.0)
+            flops_d = max(1, int(round(flops * share)))
+            search_d = int(round(search * share))
+            gpu = gpus[d]
+            with gpu.ledger.phase("numeric"):
+                if tags[k] == "C":
+                    # per-column launches; flops apportioned by each
+                    # column's share of the level's sub-column updates,
+                    # exactly as the single-device executor does
+                    weights = sub_cols[level_idx].astype(float) + 1.0
+                    weights /= weights.sum()
+                    wmap = dict(zip(level_idx.tolist(), weights))
+                    for j in owned.tolist():
+                        blocks = max(1, int(sub_cols[j]))
+                        gpu.launch_numeric(
+                            max(1, int(flops * wmap[j])),
+                            blocks,
+                            concurrency_cap=cap,
+                            search_steps=int(search * wmap[j]),
+                        )
+                elif tags[k] == "A":
+                    gpu.launch_numeric(
+                        flops_d,
+                        ncols_d,
+                        concurrency_cap=cap,
+                        search_steps=search_d,
+                    )
+                else:  # B
+                    updates_d = int(round(updates * share))
+                    blocks = max(
+                        ncols_d,
+                        min(updates_d, ncols_d * WARP_TEAMS_PER_BLOCK),
+                    )
+                    gpu.launch_numeric(
+                        flops_d,
+                        blocks,
+                        concurrency_cap=cap,
+                        search_steps=search_d,
+                    )
+                if fmt == "dense":
+                    gpu.hbm_traffic(2 * ncols_d * n * val)
+            clock[d] = gpu.ledger.total_seconds
+        for s, d2, nbytes, ncols, need_min in halo.get(k, ()):
+            book_send(s, d2, nbytes, f"halo L{k}", gate_level=need_min)
+            halo_total += int(nbytes)
+            halo_batches += 1
+
+    # ---- epilogue: factor shards stream back, residents freed ---------
+    shard_seconds = []
+    for d in range(d_count):
+        gpu = gpus[d]
+        wait_for(d, schedule.num_levels + 1)
+        with gpu.ledger.phase("download"):
+            gpu.d2h(residents[d]["as_bytes"])
+        if residents[d]["dense"] is not None:
+            gpu.free(residents[d]["dense"])
+        gpu.free(residents[d]["as"])
+        for buf in residents[d]["graph"]:
+            gpu.free(buf)
+        shard_seconds.append(gpu.ledger.total_seconds)
+
+    return MultiGpuEndToEndResult(
+        L=L,
+        U=U,
+        pre=pre,
+        filled=filled,
+        graph=graph,
+        schedule=schedule,
+        stats=stats,
+        owner=owner,
+        gpus=gpus,
+        interconnect=inter,
+        link=spec,
+        overlap=overlap,
+        data_format=fmt,
+        shard_seconds=shard_seconds,
+        reshard_bytes=reshard_total,
+        halo_bytes=halo_total,
+        halo_batches=halo_batches,
+    )
+
+
+class MultiGpuSolver:
+    """Factory for end-to-end multi-GPU runs under one configuration.
+
+    The multi-device sibling of :class:`~repro.core.pipeline.EndToEndLU`:
+
+    >>> solver = MultiGpuSolver(num_devices=4, link="nvlink2")
+    >>> res = solver.factorize(a)
+    >>> res.makespan_seconds, res.balance()
+    """
+
+    def __init__(
+        self,
+        config: SolverConfig | None = None,
+        *,
+        num_devices: int = 2,
+        link: LinkSpec | str = "pcie3",
+        overlap: bool | None = None,
+        device: DeviceSpec | None = None,
+        host: HostSpec | None = None,
+    ) -> None:
+        self.config = config or SolverConfig()
+        if num_devices < 1:
+            raise ValueError("num_devices must be >= 1")
+        self.num_devices = int(num_devices)
+        self.link = link_preset(link) if isinstance(link, str) else link
+        self.overlap = overlap
+        self.device = device
+        self.host = host
+
+    def factorize(self, a: CSRMatrix) -> MultiGpuEndToEndResult:
+        return multi_gpu_endtoend(
+            a,
+            self.config,
+            num_devices=self.num_devices,
+            link=self.link,
+            overlap=self.overlap,
+            device=self.device,
+            host=self.host,
+        )

@@ -29,6 +29,15 @@ from .device import (
 )
 from .engine import GPU
 from .faults import FaultEvent, FaultInjector, FaultPlan, GPUProxy
+from .interconnect import (
+    NVLINK2,
+    PCIE3,
+    Interconnect,
+    LinkSpec,
+    P2PTransfer,
+    PeerLink,
+    link_preset,
+)
 from .ledger import TimeLedger
 from .memory import Buffer, DeviceMemoryPool
 from .trace import TraceEvent, TracingGPU
@@ -49,6 +58,13 @@ __all__ = [
     "FaultEvent",
     "FaultInjector",
     "TimeLedger",
+    "Interconnect",
+    "LinkSpec",
+    "PeerLink",
+    "P2PTransfer",
+    "PCIE3",
+    "NVLINK2",
+    "link_preset",
     "Buffer",
     "DeviceMemoryPool",
     "UMRegion",

@@ -211,6 +211,17 @@ def _multigpu_scenario(smoke: bool) -> ScenarioRecord:
     )
 
 
+def _multigpu_e2e_scenario(smoke: bool) -> ScenarioRecord:
+    from ..core.multigpu import multi_gpu_endtoend
+
+    spec = by_abbr("RM")
+    spec = dataclasses.replace(spec, n_scaled=_SMOKE_N if smoke else 400)
+    a = spec.generate()
+    cfg = SolverConfig()
+    res = multi_gpu_endtoend(a, cfg, num_devices=4, link="pcie3")
+    return ScenarioRecord.from_parts("multigpu/e2e", res.perf_record())
+
+
 def _serve_scenario(smoke: bool) -> ScenarioRecord:
     if smoke:
         patterns, requests, n = 2, 24, 120
@@ -250,6 +261,7 @@ def _scenarios(smoke: bool) -> dict[str, Callable[[], ScenarioRecord]]:
         runners["multigpu/symbolic_OT2"] = partial(
             _multigpu_scenario, smoke
         )
+    runners["multigpu/e2e"] = partial(_multigpu_e2e_scenario, smoke)
     runners["serve/replay"] = partial(_serve_scenario, smoke)
     runners["faults/drill"] = partial(_faults_scenario, smoke)
     return runners

@@ -229,9 +229,15 @@ class BatchScheduler:
         refactorize_retry: RetryPolicy | None = None,
         cpu_fallback: bool = True,
         fault_plans: dict[int, FaultPlan] | None = None,
+        placement: str = "affinity",
     ) -> None:
         if max_queue_depth < 1:
             raise ValueError("max_queue_depth must be >= 1")
+        if placement not in ("affinity", "spread"):
+            raise ValueError(
+                f"placement must be 'affinity' or 'spread', "
+                f"got {placement!r}"
+            )
         self.config = config
         self.cache = cache
         self.metrics = metrics
@@ -254,6 +260,9 @@ class BatchScheduler:
         self._queue: list[SolveRequest] = []
         #: pattern key -> device that holds/built its analysis
         self._affinity: dict[str, int] = {}
+        self.placement = placement
+        #: round-robin cursor for cold patterns under spread placement
+        self._spread_next = 0
 
     # ------------------------------------------------------------------
     @property
@@ -319,7 +328,13 @@ class BatchScheduler:
         """Route a batch: affinity device first (when its analysis is
         resident), else least-loaded — skipping excluded devices and any
         whose circuit breaker refuses traffic.  ``None`` when no device
-        will take the batch (degrade to the CPU path)."""
+        will take the batch (degrade to the CPU path).
+
+        Under ``placement="spread"`` a *cold* pattern (no affinity
+        entry yet) is instead placed round-robin across the pool, so a
+        burst of distinct patterns lands on distinct devices and their
+        analyses build in parallel pool-wide; once a pattern is hot its
+        affinity routing is identical to the default policy."""
         order = sorted(
             (d for d in self.pool.devices if d.device_id not in exclude),
             key=lambda d: (d.busy_until, d.device_id),
@@ -327,8 +342,17 @@ class BatchScheduler:
         dev_id = self._affinity.get(batch.key)
         if dev_id is not None and batch.key in self.cache:
             order.sort(key=lambda d: d.device_id != dev_id)  # stable
+        elif self.placement == "spread" and order:
+            pool_size = len(self.pool.devices)
+            cursor = self._spread_next % pool_size
+            # first non-excluded device at or after the cursor
+            order.sort(
+                key=lambda d: (d.device_id - cursor) % pool_size
+            )
         for device in order:
             if device.breaker.allow(now):
+                if dev_id is None and self.placement == "spread":
+                    self._spread_next = device.device_id + 1
                 return device
         return None
 

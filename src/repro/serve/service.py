@@ -66,10 +66,20 @@ class ServeConfig:
     cpu_fallback: bool = True
     #: device id -> seeded fault plan, wrapped around that device's GPU
     fault_plans: dict[int, FaultPlan] | None = None
+    #: cold-pattern placement: ``affinity`` (least-loaded) or ``spread``
+    #: (round-robin across the pool so distinct patterns build their
+    #: analyses on distinct devices); hot patterns always follow their
+    #: cached affinity either way
+    placement: str = "affinity"
 
     def __post_init__(self) -> None:
         if self.num_devices < 1:
             raise ValueError("num_devices must be >= 1")
+        if self.placement not in ("affinity", "spread"):
+            raise ValueError(
+                f"placement must be 'affinity' or 'spread', "
+                f"got {self.placement!r}"
+            )
         if self.cache_capacity_bytes < 0:
             raise ValueError("cache_capacity_bytes must be >= 0")
         if self.max_queue_depth < 1:
@@ -102,6 +112,7 @@ class SolverService:
             refactorize_retry=self.config.refactorize_retry,
             cpu_fallback=self.config.cpu_fallback,
             fault_plans=self.config.fault_plans,
+            placement=self.config.placement,
         )
         self._clock = 0.0
         self._next_id = 0

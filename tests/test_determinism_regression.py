@@ -1,0 +1,65 @@
+"""Determinism regression: same seed → byte-identical reports.
+
+Guards the enqueue-time scheduling invariant (PR 4) that the
+interconnect model must preserve: every simulated timeline — fault
+drill, multi-GPU scaling sweep, per-device ledgers, peer-transfer
+logs — is a pure function of (input, seed, config).  Each check runs
+the full entry point twice and compares the rendered output
+byte-for-byte.
+"""
+
+import json
+
+import pytest
+
+from repro import cli
+
+pytestmark = pytest.mark.multigpu
+
+
+def _run_cli(capsys, argv) -> str:
+    rc = cli.main(argv)
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    return out
+
+
+def test_fault_drill_report_byte_identical(capsys):
+    first = _run_cli(capsys, ["fault-drill", "--smoke", "--seed", "7"])
+    second = _run_cli(capsys, ["fault-drill", "--smoke", "--seed", "7"])
+    assert first == second
+    assert "determinism: identical event logs" in first
+
+
+def test_multigpu_bench_report_byte_identical(capsys):
+    argv = [
+        "multigpu-bench", "--n", "160", "--devices", "1", "2", "4",
+    ]
+    first = _run_cli(capsys, argv)
+    assert _run_cli(capsys, argv) == first
+    # overlap mode books through copy engines — same invariant
+    argv_overlap = argv + ["--overlap", "--link", "nvlink2"]
+    first_overlap = _run_cli(capsys, argv_overlap)
+    assert _run_cli(capsys, argv_overlap) == first_overlap
+    assert first_overlap != first
+
+
+def test_multigpu_execution_record_identical():
+    import dataclasses
+
+    from repro.core import SolverConfig, multi_gpu_endtoend
+    from repro.workloads.registry import by_abbr
+
+    a = dataclasses.replace(by_abbr("OT2"), n_scaled=96).generate()
+    runs = [
+        multi_gpu_endtoend(a, SolverConfig(), num_devices=3)
+        for _ in range(2)
+    ]
+    rec0, rec1 = (json.dumps(r.perf_record(), sort_keys=True)
+                  for r in runs)
+    assert rec0 == rec1
+    snap0, snap1 = (json.dumps(r.interconnect.snapshot(), sort_keys=True)
+                    for r in runs)
+    assert snap0 == snap1
+    trace0, trace1 = (json.dumps(r.to_chrome_trace()) for r in runs)
+    assert trace0 == trace1

@@ -1,0 +1,94 @@
+"""Unit tests for the peer-to-peer interconnect model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpusim import (
+    NVLINK2,
+    PCIE3,
+    Interconnect,
+    LinkSpec,
+    link_preset,
+)
+
+pytestmark = pytest.mark.multigpu
+
+
+class TestLinkSpec:
+    def test_transfer_seconds_is_latency_plus_wire_time(self):
+        spec = LinkSpec(name="test", bandwidth=1e9, latency=1e-6)
+        assert spec.transfer_seconds(0) == 1e-6
+        assert spec.transfer_seconds(10**9) == pytest.approx(1.0 + 1e-6)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PCIE3.transfer_seconds(-1)
+
+    def test_presets(self):
+        assert link_preset("pcie3") is PCIE3
+        assert link_preset("nvlink2") is NVLINK2
+        assert NVLINK2.bandwidth > PCIE3.bandwidth
+        assert NVLINK2.latency < PCIE3.latency
+        with pytest.raises(ConfigurationError, match="nvlink2"):
+            link_preset("nvlink9")
+
+
+class TestInterconnect:
+    def test_fifo_per_directed_link(self):
+        ic = Interconnect(2, spec=LinkSpec("t", 1e9, 0.0))
+        a = ic.transfer(0, 1, 1000, ready_s=0.0)
+        b = ic.transfer(0, 1, 1000, ready_s=0.0)
+        # same link: second transfer queues behind the first
+        assert b.start_s == a.end_s
+        # opposite direction is an independent channel
+        c = ic.transfer(1, 0, 1000, ready_s=0.0)
+        assert c.start_s == 0.0
+
+    def test_ready_time_respected(self):
+        ic = Interconnect(2)
+        tr = ic.transfer(0, 1, 64, ready_s=5.0)
+        assert tr.start_s == 5.0
+        assert tr.end_s == pytest.approx(
+            5.0 + PCIE3.transfer_seconds(64)
+        )
+
+    def test_validation(self):
+        ic = Interconnect(2)
+        with pytest.raises(ConfigurationError):
+            ic.transfer(0, 0, 10, ready_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ic.transfer(0, 2, 10, ready_s=0.0)
+        with pytest.raises(ConfigurationError):
+            Interconnect(0)
+
+    def test_ledger_and_traffic_accounting(self):
+        ic = Interconnect(3)
+        ic.transfer(0, 1, 100, ready_s=0.0)
+        ic.transfer(0, 1, 200, ready_s=0.0)
+        ic.transfer(2, 0, 50, ready_s=0.0)
+        assert ic.total_transfers == 3
+        assert ic.total_bytes == 350
+        mat = ic.traffic_matrix()
+        assert mat[0][1] == 300
+        assert mat[2][0] == 50
+        assert mat[1][2] == 0
+        bd = ic.traffic_breakdown()
+        assert bd["bytes_total"] == 350
+        assert set(bd["links"]) == {"0->1", "2->0"}
+        assert bd["links"]["0->1"]["transfers"] == 2
+        assert ic.busy_seconds(0, 1) > ic.busy_seconds(2, 0)
+        assert ic.busy_seconds(1, 2) == 0.0
+        snap = ic.snapshot()
+        assert snap["traffic"]["transfers_total"] == 3
+
+    def test_chrome_trace_lanes(self):
+        ic = Interconnect(2)
+        ic.transfer(0, 1, 100, ready_s=0.0, tag="reshard")
+        ic.transfer(1, 0, 100, ready_s=0.0, tag="halo L2")
+        events = ic.to_chrome_trace()
+        assert len(events) == 2
+        assert {e["ph"] for e in events} == {"X"}
+        # one lane (tid) per directed link
+        assert {e["tid"] for e in events} == {0, 1}
+        assert events[0]["name"] == "p2p reshard"
+        assert events[1]["args"]["link"] == "1->0"

@@ -7,6 +7,8 @@ from repro.gpusim import scaled_device, scaled_host
 from repro.symbolic import symbolic_fill_reference
 from repro.workloads import by_abbr, circuit_like
 
+pytestmark = pytest.mark.multigpu
+
 
 def cfg(mem=16 << 20):
     return SolverConfig(device=scaled_device(mem), host=scaled_host(8 * mem))

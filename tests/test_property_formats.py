@@ -1,0 +1,109 @@
+"""Property tests for the Algorithm 6 numeric-format switch (§3.4).
+
+The dense↔sorted-CSC decision changes kernel shapes, memory traffic and
+search-step accounting — never factors.  These tests drive random
+seeded matrices through instances straddling the dense→CSC threshold
+and through both forced formats, asserting the L/U values stay
+bitwise-identical everywhere.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import SolverConfig, factorize
+from repro.gpusim import scaled_device, scaled_host
+from repro.sparse import CSRMatrix
+
+from helpers import random_dense
+
+pytestmark = pytest.mark.multigpu
+
+
+def cfg(mem=8 << 20, **kw):
+    return SolverConfig(
+        device=scaled_device(mem), host=scaled_host(8 * mem), **kw
+    )
+
+
+def _factors_equal(a, b) -> bool:
+    return (
+        np.array_equal(a.L.indptr, b.L.indptr)
+        and np.array_equal(a.L.indices, b.L.indices)
+        and np.array_equal(a.L.data, b.L.data)
+        and np.array_equal(a.U.indptr, b.U.indptr)
+        and np.array_equal(a.U.indices, b.U.indices)
+        and np.array_equal(a.U.data, b.U.data)
+    )
+
+
+@given(
+    n=st.integers(8, 40),
+    density=st.floats(0.05, 0.4),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=20, deadline=None)
+def test_forced_formats_produce_identical_factors(n, density, seed):
+    """dense-forced, csc-forced and auto must agree bitwise."""
+    a = CSRMatrix.from_dense(
+        random_dense(n, density, seed=seed, dominant=True)
+    )
+    ref = factorize(a, cfg(numeric_format="auto"))
+    dense = factorize(a, cfg(numeric_format="dense"))
+    csc = factorize(a, cfg(numeric_format="csc"))
+    assert _factors_equal(ref, dense)
+    assert _factors_equal(ref, csc)
+    assert ref.numeric.data_format in ("dense", "csc")
+    assert dense.numeric.data_format == "dense"
+    assert csc.numeric.data_format == "csc"
+
+
+@given(
+    n=st.integers(10, 32),
+    density=st.floats(0.08, 0.3),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=15, deadline=None)
+def test_factors_invariant_across_format_threshold(n, density, seed):
+    """Shrinking device memory until auto flips dense→CSC must not
+    change the factors: sweep memory sizes straddling the §3.4
+    threshold (``M < TB_max`` i.e. free bytes below
+    ``n x sizeof x TB_max``) and compare every run bitwise against the
+    roomiest one."""
+    a = CSRMatrix.from_dense(
+        random_dense(n, density, seed=seed, dominant=True)
+    )
+    ref = factorize(a, cfg(mem=16 << 20))
+    tb_max = scaled_device(16 << 20).max_concurrent_blocks
+    threshold = n * 4 * tb_max  # free bytes where M == TB_max
+    chosen = {ref.numeric.data_format}
+    for mem in (threshold // 4, threshold // 2, threshold * 8):
+        res = factorize(a, cfg(mem=mem))
+        chosen.add(res.numeric.data_format)
+        assert _factors_equal(ref, res), (
+            f"mem={mem}B fmt={res.numeric.data_format}"
+        )
+    # the sweep genuinely straddled the switch: below the threshold the
+    # dense cap M cannot reach TB_max (sorted CSC, possibly the
+    # out-of-core streamed variant), far above it dense always wins
+    assert "dense" in chosen
+    assert chosen & {"csc", "csc-streamed"}
+
+
+def test_choose_format_switch_rule():
+    """choose_format flips exactly at the §3.4 free-byte threshold."""
+    from repro.core.numeric_gpu import choose_format
+    from repro.gpusim import GPU
+
+    n = 100
+    c = SolverConfig()
+    tb_max = c.device.max_concurrent_blocks
+    at = GPU(spec=scaled_device(n * 4 * tb_max))
+    assert choose_format(at, n, c) == ("dense", tb_max)
+    below = GPU(spec=scaled_device(n * 4 * tb_max - 4))
+    assert choose_format(below, n, c) == ("csc", tb_max)
+    # forcing overrides the rule either way
+    forced_csc = SolverConfig(numeric_format="csc")
+    assert choose_format(at, n, forced_csc)[0] == "csc"
+    forced_dense = SolverConfig(numeric_format="dense")
+    assert choose_format(below, n, forced_dense)[0] == "dense"
