@@ -25,6 +25,13 @@ Commands
               reports makespan speedup, balance, reshard/halo traffic
               and the bitwise results-identical flag per point
               (see docs/multigpu.md).
+``fleet-bench``   node-count sweep of the cluster-scale serving tier
+              (:mod:`repro.fleet`): consistent-hash routing + shared L2
+              cache + admission control replaying a zipf trace over
+              1/2/4/8 solver nodes, plus a deliberately overloaded
+              point; reports throughput scaling, tier split, shed rate
+              and the bitwise results-identical flag (see
+              docs/fleet.md).
 ``fault-drill``   run the four fault/recovery scenarios (flaky link,
               OOM storm, singular workload, dead device) and verify
               every one recovers or degrades to the CPU fallback, with
@@ -228,6 +235,39 @@ def cmd_multigpu_bench(args) -> int:
     return 0 if report.all_identical else 1
 
 
+def cmd_fleet_bench(args) -> int:
+    from .bench.fleet import run_fleet_bench
+    from .fleet import format_fleet_report, run_fleet_load
+    from .serve import synthesize_trace
+
+    report = run_fleet_bench(
+        num_patterns=args.patterns,
+        num_requests=args.requests,
+        n=args.n,
+        node_counts=tuple(args.nodes),
+        zipf_s=args.zipf_s,
+        seed=args.seed,
+        flush_every=args.flush_every,
+        smoke=not args.full,
+    )
+    print(report.format())
+    if args.stats:
+        from .fleet import FleetConfig
+
+        trace = synthesize_trace(
+            num_patterns=args.patterns, num_requests=args.requests,
+            n=args.n, seed=args.seed, popularity="zipf",
+            zipf_s=args.zipf_s,
+        )
+        full = run_fleet_load(
+            trace, FleetConfig(num_nodes=max(args.nodes)),
+            flush_every=args.flush_every,
+        )
+        print()
+        print(format_fleet_report(full))
+    return 0 if report.all_identical else 1
+
+
 def cmd_fault_drill(args) -> int:
     from .bench.fault_drill import run_fault_drill_cli
 
@@ -359,7 +399,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("experiment",
                     choices=["fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
                              "table3", "table4", "serve_bench", "overlap",
-                             "multigpu", "all"])
+                             "multigpu", "fleet", "all"])
     sp.add_argument("--fast", action="store_true")
     sp.set_defaults(fn=cmd_bench)
 
@@ -439,6 +479,32 @@ def build_parser() -> argparse.ArgumentParser:
                     help="also print full service metrics")
     add_device(sp)
     sp.set_defaults(fn=cmd_serve_bench)
+
+    sp = sub.add_parser(
+        "fleet-bench",
+        help="node-count sweep of the cluster serving tier "
+             "(repro.fleet): throughput scaling, L1/L2/cold split, "
+             "shed rate, bitwise results-identical check",
+    )
+    sp.add_argument("--patterns", type=int, default=6,
+                    help="distinct sparsity patterns in the trace")
+    sp.add_argument("--requests", type=int, default=96,
+                    help="total solve requests")
+    sp.add_argument("--n", type=int, default=120,
+                    help="unknowns per matrix")
+    sp.add_argument("--nodes", type=int, nargs="+", default=[1, 2, 4, 8],
+                    help="node counts to sweep")
+    sp.add_argument("--zipf-s", type=float, default=1.1,
+                    help="zipf popularity exponent of the trace")
+    sp.add_argument("--flush-every", type=int, default=6,
+                    help="dispatch the fleet every this many submits")
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--full", action="store_true",
+                    help="larger trace instead of smoke size")
+    sp.add_argument("--stats", action="store_true",
+                    help="also print the full fleet report at the "
+                         "largest node count")
+    sp.set_defaults(fn=cmd_fleet_bench)
 
     sp = sub.add_parser(
         "fault-drill",

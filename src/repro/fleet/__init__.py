@@ -1,0 +1,62 @@
+"""Cluster-scale serving: N solver nodes, one ring, two cache tiers.
+
+``repro.serve`` amortizes symbolic analysis on one modeled box; this
+package scales that amortization to a *fleet*:
+
+* :mod:`~repro.fleet.router` — consistent-hash ring: every sparsity
+  pattern has a home node, warm patterns stick, node churn remaps only
+  ~K/N keys;
+* :mod:`~repro.fleet.l2cache` — modeled shared L2 analysis cache whose
+  fetches are charged over an interconnect-style
+  :class:`~repro.gpusim.interconnect.LinkSpec` link (an L2 hit beats a
+  cold ``analyze()`` but is not free);
+* :mod:`~repro.fleet.admission` — bounded per-node queues with typed
+  :class:`ShedError` rejections and per-node circuit breakers that
+  reroute to ring successors;
+* :mod:`~repro.fleet.fleet` — the :class:`Fleet` facade
+  (``submit`` / ``flush`` / ``solve`` / ``stats`` / ``shutdown``);
+* :mod:`~repro.fleet.loadgen` — trace replay + :class:`FleetReport`
+  (balance, tier hit rates, shed rate, exact p50/p99).
+
+Correctness contract: every admitted response is bitwise-identical to a
+single-node :class:`~repro.serve.SolverService` replay of the same
+trace — the fleet moves time, never numerics.
+
+Quickstart::
+
+    from repro.fleet import Fleet, FleetConfig
+
+    fleet = Fleet(FleetConfig(num_nodes=4))
+    idx = fleet.submit(a, b)      # ShedError = overload (recorded)
+    resp = fleet.flush()[0]
+    print(resp.status, resp.served, fleet.stats()["l2"]["hit_rate"])
+    fleet.shutdown()
+"""
+
+from .admission import AdmissionConfig, AdmissionController, ShedError
+from .fleet import Fleet, FleetConfig, FleetResponse
+from .l2cache import L2Cache, L2Config, L2Fetch
+from .loadgen import (
+    FleetReport,
+    format_fleet_report,
+    replay_fleet,
+    run_fleet_load,
+)
+from .router import HashRing
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "ShedError",
+    "Fleet",
+    "FleetConfig",
+    "FleetResponse",
+    "L2Cache",
+    "L2Config",
+    "L2Fetch",
+    "FleetReport",
+    "format_fleet_report",
+    "replay_fleet",
+    "run_fleet_load",
+    "HashRing",
+]

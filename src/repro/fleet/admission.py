@@ -1,0 +1,167 @@
+"""Admission control: bounded per-node queues, shedding, node breakers.
+
+Serving "millions of users" means overload is an input, not an error:
+past saturation the fleet must shed deterministically instead of growing
+queues without bound or letting exceptions escape the service boundary.
+Three mechanisms:
+
+* **Bounded per-node admission queues** — each node accepts at most
+  ``max_pending_per_node`` undispatched requests.  A request routed to a
+  saturated node is refused with a typed :class:`ShedError` (the fleet
+  does *not* reroute on overload: spilling a hot pattern to a cold node
+  would trade one cheap queued refactorization for a full analysis and
+  destroy the warm-routing invariant — shedding is the honest answer).
+* **Per-node circuit breakers** — the same three-state
+  :class:`~repro.serve.breaker.CircuitBreaker` machine that guards
+  devices inside a node (rung 4 of the recovery ladder) is stacked one
+  level up: error responses from a node count as failures, tripping the
+  breaker and steering that node's arcs to the ring successors
+  (:meth:`~repro.fleet.router.HashRing.preference`) until the cooldown
+  probe succeeds.  A node that recovers gets its arcs back, because
+  routing is by ring position, not by reassignment.
+* **Unhealthy-fleet shedding** — when every candidate node's breaker is
+  open, admission fails with ``reason="no_healthy_node"`` rather than
+  queueing on a known-bad node.
+
+All decisions are functions of the simulated clock, so shed patterns are
+byte-identical run to run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ServeError
+from ..serve.breaker import BreakerConfig, CircuitBreaker
+
+__all__ = ["AdmissionConfig", "AdmissionController", "ShedError"]
+
+
+class ShedError(ServeError):
+    """A request was refused at the fleet boundary (load shed).
+
+    ``reason`` is ``"queue_full"`` (the home node's admission queue is
+    at capacity) or ``"no_healthy_node"`` (every routable node's breaker
+    is open).  The request was **not** enqueued anywhere.
+    """
+
+    def __init__(self, node_id: int, depth: int, capacity: int,
+                 reason: str = "queue_full") -> None:
+        self.node_id = int(node_id)
+        self.depth = int(depth)
+        self.capacity = int(capacity)
+        self.reason = str(reason)
+        super().__init__(
+            f"request shed ({reason}) at node {node_id}: "
+            f"{depth}/{capacity} pending"
+        )
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Fleet-boundary overload and health knobs."""
+
+    #: undispatched requests a node may hold before shedding
+    max_pending_per_node: int = 32
+    #: per-node breaker knobs (node-level rung of the recovery ladder)
+    breaker: BreakerConfig = field(default_factory=BreakerConfig)
+    #: walk ring successors when the home node's breaker is open
+    reroute_unhealthy: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_pending_per_node < 1:
+            raise ValueError("max_pending_per_node must be >= 1")
+
+
+class AdmissionController:
+    """Pending-count bookkeeping + node breakers for one fleet."""
+
+    def __init__(self, num_nodes: int,
+                 config: AdmissionConfig | None = None) -> None:
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        self.config = config or AdmissionConfig()
+        self.pending = [0] * num_nodes
+        self.breakers = [
+            CircuitBreaker(config=self.config.breaker)
+            for _ in range(num_nodes)
+        ]
+        self.admitted = [0] * num_nodes
+        self.shed_by_node = [0] * num_nodes
+        self.sheds = 0
+        self.reroutes = 0
+
+    # ------------------------------------------------------------------
+    def allow(self, node_id: int, now: float) -> bool:
+        """Breaker verdict for ``node_id`` at virtual time ``now``
+        (may transition open → half-open; a half-open node admits its
+        probe quota)."""
+        return self.breakers[node_id].allow(now)
+
+    def select(self, preference: list[int], now: float) -> int:
+        """First healthy node of a ring-preference walk.
+
+        Raises :class:`ShedError` (``no_healthy_node``) when every
+        candidate's breaker refuses; counts a reroute whenever the pick
+        is not the home (first) node.
+        """
+        candidates = (
+            preference if self.config.reroute_unhealthy
+            else preference[:1]
+        )
+        for node_id in candidates:
+            if self.allow(node_id, now):
+                if node_id != preference[0]:
+                    self.reroutes += 1
+                return node_id
+        self.sheds += 1
+        self.shed_by_node[preference[0]] += 1
+        raise ShedError(
+            preference[0], self.pending[preference[0]],
+            self.config.max_pending_per_node, reason="no_healthy_node",
+        )
+
+    def count_shed(self, node_id: int) -> None:
+        """Record a shed decided outside the controller (e.g. a node's
+        own bounded queue refusing after admission)."""
+        self.sheds += 1
+        self.shed_by_node[node_id] += 1
+
+    def admit(self, node_id: int) -> None:
+        """Claim one admission slot on ``node_id`` or shed."""
+        if self.pending[node_id] >= self.config.max_pending_per_node:
+            self.sheds += 1
+            self.shed_by_node[node_id] += 1
+            raise ShedError(
+                node_id, self.pending[node_id],
+                self.config.max_pending_per_node,
+            )
+        self.pending[node_id] += 1
+        self.admitted[node_id] += 1
+
+    def release(self, node_id: int, count: int = 1) -> None:
+        """Return dispatched slots (called after a node flush)."""
+        self.pending[node_id] = max(0, self.pending[node_id] - int(count))
+
+    # ------------------------------------------------------------------
+    def record_result(self, node_id: int, ok: bool, now: float) -> int:
+        """Feed one response outcome into the node's breaker; returns
+        the number of new trips (0 or 1)."""
+        breaker = self.breakers[node_id]
+        trips_before = breaker.trips
+        if ok:
+            breaker.record_success(now)
+        else:
+            breaker.record_failure(now)
+        return breaker.trips - trips_before
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        return {
+            "pending": list(self.pending),
+            "admitted": list(self.admitted),
+            "shed_by_node": list(self.shed_by_node),
+            "sheds": self.sheds,
+            "reroutes": self.reroutes,
+            "breakers": [b.snapshot() for b in self.breakers],
+        }

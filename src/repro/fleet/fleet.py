@@ -1,0 +1,393 @@
+"""The fleet facade: N solver nodes behind one admission boundary.
+
+A :class:`Fleet` composes everything the serving stack built so far into
+one cluster-scale tier:
+
+* each **node** is a full :class:`~repro.serve.SolverService` (device
+  pool, L1 analysis cache, batching scheduler, device breakers, CPU
+  fallback) — the box PRs 1–5 hardened;
+* a consistent-hash **ring** (:mod:`repro.fleet.router`) gives every
+  sparsity pattern a home node, so warm patterns always find their L1
+  analysis and node churn remaps only ~K/N keys;
+* a shared **L2 analysis cache** (:mod:`repro.fleet.l2cache`) catches
+  L1 evictions and ring remaps: before a node dispatches a cold
+  pattern, the fleet tries the L2 and pays modeled link time instead of
+  a full ``analyze()``;
+* an **admission controller** (:mod:`repro.fleet.admission`) bounds
+  per-node queues, sheds with typed :class:`ShedError` under overload,
+  and walks ring successors when a node's breaker is open.
+
+Correctness contract (locked by the differential tests): every admitted
+response's solution vector is **bitwise-identical** to replaying the
+same trace through a single :class:`SolverService` — routing, caching
+tier, node count and shedding may only move *time*, never numerics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import QueueFullError, ServiceShutdownError
+from ..serve.cache import pattern_key
+from ..serve.scheduler import SolveResponse
+from ..serve.service import ServeConfig, SolverService
+from ..sparse import CSRMatrix
+from .admission import AdmissionConfig, AdmissionController, ShedError
+from .l2cache import L2Cache, L2Config
+from .router import HashRing
+
+__all__ = ["FleetConfig", "FleetResponse", "Fleet"]
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Knobs of the cluster tier (per-node knobs live in ``serve``)."""
+
+    #: solver nodes in the fleet
+    num_nodes: int = 2
+    #: per-node service configuration (cloned for every node)
+    serve: ServeConfig = field(default_factory=ServeConfig)
+    #: shared analysis tier (capacity + node<->store link model)
+    l2: L2Config = field(default_factory=L2Config)
+    #: admission queues, shedding, node breakers
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    #: virtual ring points per node (routing granularity)
+    vnodes: int = 96
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        if self.vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+
+
+@dataclass
+class FleetResponse:
+    """Outcome of one fleet submission, in submission order.
+
+    ``status`` extends the service statuses with ``shed``; ``served``
+    says which tier produced the analysis the request ran on:
+    ``l1`` (home-node hit), ``l2`` (fetched from the shared tier),
+    ``cold`` (full analysis), or ``none`` (shed — no work done).
+    """
+
+    index: int
+    node_id: int
+    key: str
+    status: str
+    served: str = "none"
+    rerouted: bool = False
+    response: SolveResponse | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def shed(self) -> bool:
+        return self.status == "shed"
+
+    @property
+    def x(self) -> np.ndarray | None:
+        return None if self.response is None else self.response.x
+
+    @property
+    def latency(self) -> float:
+        return 0.0 if self.response is None else self.response.latency
+
+    @property
+    def finish(self) -> float:
+        return 0.0 if self.response is None else self.response.finish
+
+
+@dataclass
+class _Inflight:
+    """One admitted, not-yet-flushed request on a node."""
+
+    index: int
+    key: str
+    request_id: int
+    rerouted: bool
+
+
+class Fleet:
+    """N modeled solver nodes, one ring, one L2, one admission boundary.
+
+    Synchronous like :class:`SolverService`: :meth:`submit` routes and
+    admits (raising :class:`ShedError` on overload — already recorded,
+    callers just count it), :meth:`flush` stages L2 fetches and drains
+    every node, :meth:`responses` returns everything in submission
+    order.
+    """
+
+    def __init__(
+        self,
+        config: FleetConfig | None = None,
+        *,
+        node_overrides: dict[int, ServeConfig] | None = None,
+    ) -> None:
+        self.config = config or FleetConfig()
+        overrides = node_overrides or {}
+        for node_id in overrides:
+            if not (0 <= node_id < self.config.num_nodes):
+                raise ValueError(
+                    f"override for unknown node {node_id}"
+                )
+        self.nodes = [
+            SolverService(overrides.get(i, self.config.serve))
+            for i in range(self.config.num_nodes)
+        ]
+        self.ring = HashRing(
+            tuple(range(self.config.num_nodes)),
+            vnodes=self.config.vnodes,
+        )
+        self.l2 = L2Cache(self.config.l2, self.config.num_nodes)
+        self.admission = AdmissionController(
+            self.config.num_nodes, self.config.admission
+        )
+        if self.config.l2.write_through:
+            for node_id, node in enumerate(self.nodes):
+                node.scheduler.on_install = self._publisher(node_id)
+        self._inflight: dict[int, list[_Inflight]] = {
+            i: [] for i in range(self.config.num_nodes)
+        }
+        self._responses: dict[int, FleetResponse] = {}
+        self._seq = 0
+        self._clock = 0.0
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------
+    def __enter__(self) -> "Fleet":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def shutdown(self, *, drain: bool = True) -> list[FleetResponse]:
+        """Drain (default) or discard queued work, then refuse more."""
+        if self._closed:
+            return []
+        out = self.flush() if drain else []
+        self._closed = True
+        for node in self.nodes:
+            node.shutdown(drain=drain)
+        return out
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceShutdownError("fleet is shut down")
+
+    # -- clock ----------------------------------------------------------
+    @property
+    def clock(self) -> float:
+        """Fleet virtual time (max over node clocks and explicit ticks)."""
+        return max(
+            self._clock, max(n.clock for n in self.nodes)
+        )
+
+    def tick(self, dt: float) -> float:
+        """Advance every node's arrival clock (shared wall time)."""
+        if dt < 0:
+            raise ValueError("cannot tick backwards")
+        self._clock += float(dt)
+        for node in self.nodes:
+            node.tick(dt)
+        return self.clock
+
+    # -- request path ----------------------------------------------------
+    @property
+    def pending(self) -> int:
+        return sum(len(v) for v in self._inflight.values())
+
+    def submit(
+        self,
+        a: CSRMatrix,
+        b: np.ndarray,
+        *,
+        deadline: float | None = None,
+        timeout: float | None = None,
+    ) -> int:
+        """Route, admit and enqueue ``A x = b``; returns the fleet
+        sequence index.  Raises :class:`ShedError` on overload or an
+        unhealthy fleet — the shed is *recorded* (a ``shed``
+        :class:`FleetResponse` under the raised error's ``.index``)
+        before raising, so no response is ever lost.
+        """
+        self._check_open()
+        key = pattern_key(a)
+        index = self._seq
+        self._seq += 1
+        preference = self.ring.preference(key)
+        now = self.clock
+        try:
+            node_id = self.admission.select(preference, now)
+            self.admission.admit(node_id)
+        except ShedError as exc:
+            self._responses[index] = FleetResponse(
+                index=index, node_id=exc.node_id, key=key,
+                status="shed",
+            )
+            exc.index = index  # type: ignore[attr-defined]
+            raise
+        node = self.nodes[node_id]
+        try:
+            rid = node.submit(a, b, deadline=deadline, timeout=timeout)
+        except QueueFullError as exc:
+            # the node's own bounded queue is the second gate; convert
+            # to the fleet's typed shed signal
+            self.admission.release(node_id)
+            self.admission.count_shed(node_id)
+            self._responses[index] = FleetResponse(
+                index=index, node_id=node_id, key=key, status="shed",
+            )
+            shed = ShedError(node_id, exc.depth, exc.capacity)
+            shed.index = index  # type: ignore[attr-defined]
+            raise shed from exc
+        self._inflight[node_id].append(
+            _Inflight(
+                index=index, key=key, request_id=rid,
+                rerouted=node_id != preference[0],
+            )
+        )
+        return index
+
+    # -- dispatch --------------------------------------------------------
+    def _publisher(self, node_id: int):
+        """Write-through hook for one node's scheduler: every analysis
+        the node *builds* is published to the L2 as it is installed
+        (write-behind — occupies the node's link, never stalls it)."""
+
+        def publish(key: str, analysis) -> None:
+            self.l2.put(node_id, key, analysis, self.nodes[node_id].clock)
+
+        return publish
+
+    def _stage_l2(self, node_id: int) -> set[str]:
+        """Pre-dispatch L2 stage for one node: fetch every pending
+        pattern missing from the node's L1, stalling the node's clock
+        until its link delivers.  Returns the keys served from L2."""
+        node = self.nodes[node_id]
+        fetched: set[str] = set()
+        seen: set[str] = set()
+        for job in self._inflight[node_id]:
+            if job.key in seen:
+                continue
+            seen.add(job.key)
+            if node.scheduler.cache.peek(job.key) is not None:
+                continue
+            fetch = self.l2.fetch(node_id, job.key, node.clock)
+            if not fetch.hit:
+                continue
+            assert fetch.analysis is not None
+            wait = fetch.end_s - node.clock
+            if wait > 0:
+                node.tick(wait)
+            node.scheduler.adopt_analysis(job.key, fetch.analysis)
+            if node.scheduler.cache.peek(job.key) is not None:
+                fetched.add(job.key)
+            # an entry too large for the node's whole L1 budget could
+            # not be adopted; the batch re-analyzes cold (and the
+            # labels say so)
+        return fetched
+
+    def flush(self) -> list[FleetResponse]:
+        """Stage L2 fetches, drain every node, feed the breakers, and
+        return this round's responses in submission order."""
+        self._check_open()
+        out: list[FleetResponse] = []
+        for node_id, jobs in self._inflight.items():
+            if not jobs:
+                continue
+            node = self.nodes[node_id]
+            fetched = self._stage_l2(node_id)
+            responses = {
+                r.request_id: r for r in node.flush()
+            }
+            self.admission.release(node_id, len(jobs))
+            for job in jobs:
+                resp = responses.get(job.request_id)
+                if resp is None:  # defensive: node dropped the request
+                    continue
+                if job.key in fetched:
+                    served = "l2"
+                elif resp.cache_hit:
+                    served = "l1"
+                else:
+                    served = "cold"
+                self.admission.record_result(
+                    node_id, resp.status != "error", resp.finish
+                )
+                fr = FleetResponse(
+                    index=job.index, node_id=node_id, key=job.key,
+                    status=resp.status, served=served,
+                    rerouted=job.rerouted, response=resp,
+                )
+                self._responses[job.index] = fr
+                out.append(fr)
+            self._inflight[node_id] = []
+        self._clock = max(self._clock, self.clock)
+        return sorted(out, key=lambda r: r.index)
+
+    def solve(self, a: CSRMatrix, b: np.ndarray, **kw) -> FleetResponse:
+        """Submit one request and flush the whole fleet."""
+        index = self.submit(a, b, **kw)
+        self.flush()
+        return self._responses[index]
+
+    def responses(self) -> list[FleetResponse]:
+        """Every recorded outcome (including sheds), submission order."""
+        return [self._responses[i] for i in sorted(self._responses)]
+
+    def result(self, index: int) -> FleetResponse | None:
+        return self._responses.get(index)
+
+    # -- topology churn --------------------------------------------------
+    def route_of(self, a: CSRMatrix) -> int:
+        """Home node the ring would pick for ``a``'s pattern."""
+        return self.ring.route(pattern_key(a))
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def makespan_seconds(self) -> float:
+        """Latest busy time across every device of every node (plus the
+        degraded CPU timelines)."""
+        latest = 0.0
+        for node in self.nodes:
+            snap = node.stats()
+            for d in snap["devices"]:
+                latest = max(latest, float(d["busy_until"]))
+            latest = max(latest, float(snap["cpu_busy_until"]))
+        return latest
+
+    def stats(self) -> dict:
+        """One nested dict: per-node service stats + ring + L2 +
+        admission."""
+        return {
+            "num_nodes": self.config.num_nodes,
+            "clock": self.clock,
+            "makespan_seconds": self.makespan_seconds,
+            "ring": self.ring.snapshot(),
+            "l2": self.l2.stats(),
+            "admission": self.admission.snapshot(),
+            "nodes": [node.stats() for node in self.nodes],
+        }
+
+
+def fleet_config_with_node_devices(
+    config: FleetConfig, fault_plans_by_node: dict[int, dict] | None
+) -> dict[int, ServeConfig]:
+    """Helper: per-node ``ServeConfig`` overrides carrying fault plans
+    (used by the fleet drills/tests to break individual nodes)."""
+    overrides: dict[int, ServeConfig] = {}
+    for node_id, plans in (fault_plans_by_node or {}).items():
+        overrides[node_id] = dataclasses.replace(
+            config.serve, fault_plans=plans
+        )
+    return overrides

@@ -1,0 +1,196 @@
+"""Modeled shared L2 analysis cache with network-charged fetches.
+
+Tier two of the fleet's analysis hierarchy.  Tier one is each node's
+own byte-budgeted :class:`~repro.serve.cache.AnalysisCache` (L1, free to
+hit).  The L2 is a single shared store — think a fat memory node or a
+disaggregated cache service — that keeps every published analysis under
+a (much larger) byte budget, so a pattern survives L1 eviction, node
+loss, and ring resharding without paying a cold ``analyze()``.
+
+An L2 hit is **not free**: the analysis bytes
+(:attr:`~repro.core.refactorize.ReusableAnalysis.nbytes`) must cross the
+network.  Each node owns one directed link to the store, modeled exactly
+like a :class:`~repro.gpusim.interconnect.PeerLink`: a
+:class:`~repro.gpusim.interconnect.LinkSpec` (bandwidth + per-message
+latency) and a strict single-channel FIFO, so concurrent fetches by one
+node queue back-to-back.  Fetch wire time is charged into a
+:class:`~repro.gpusim.ledger.TimeLedger` under ``l2:fetch:node<i>`` and
+delays the node's dispatch; publishes (write-through at cold-build time)
+occupy the link under ``l2:write:node<i>`` but are write-behind — the
+node does not wait for them.
+
+The stored objects are the origin node's analyses; rebinding to the
+fetching node's device happens in
+:meth:`repro.serve.scheduler.BatchScheduler.adopt_analysis`, which keeps
+the math bitwise-identical (the analysis is pure pattern state — only
+the timeline changes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.refactorize import ReusableAnalysis
+from ..gpusim.interconnect import PCIE3, LinkSpec
+from ..gpusim.ledger import TimeLedger
+from ..serve.cache import AnalysisCache
+
+__all__ = ["L2Config", "L2Cache", "L2Fetch"]
+
+
+@dataclass(frozen=True)
+class L2Config:
+    """Knobs of the shared analysis tier."""
+
+    #: byte budget of the shared store (LRU past it, like the L1)
+    capacity_bytes: int = 512 << 20
+    #: node <-> store link model (PCIe-3-shaped by default)
+    link: LinkSpec = PCIE3
+    #: publish cold-built analyses to the store (write-through); off,
+    #: the L2 only ever serves what :meth:`L2Cache.put` stored manually
+    write_through: bool = True
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes < 0:
+            raise ValueError("capacity_bytes must be >= 0")
+
+
+@dataclass(frozen=True)
+class L2Fetch:
+    """One resolved L2 lookup (miss ⇒ ``analysis is None``)."""
+
+    key: str
+    analysis: ReusableAnalysis | None
+    #: simulated seconds the fetch occupied the node's link (0 on miss)
+    start_s: float = 0.0
+    duration_s: float = 0.0
+
+    @property
+    def hit(self) -> bool:
+        return self.analysis is not None
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+
+@dataclass
+class _NodeLink:
+    """Directed node<->store FIFO (one transfer in flight at a time)."""
+
+    spec: LinkSpec
+    tail_s: float = 0.0
+    busy_s: float = 0.0
+    ops: int = 0
+    bytes_total: int = 0
+
+    def schedule(self, ready_s: float, nbytes: int) -> tuple[float, float]:
+        dur = self.spec.transfer_seconds(int(nbytes))
+        start = max(float(ready_s), self.tail_s)
+        self.tail_s = start + dur
+        self.busy_s += dur
+        self.ops += 1
+        self.bytes_total += int(nbytes)
+        return start, dur
+
+
+class L2Cache:
+    """Shared analysis store + per-node charged links.
+
+    Storage/LRU/byte accounting reuse :class:`AnalysisCache` (the L1's
+    engine) so both tiers obey identical eviction semantics; this class
+    adds the network model and the fleet-facing counters.
+    """
+
+    def __init__(self, config: L2Config | None = None,
+                 num_nodes: int = 1) -> None:
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        self.config = config or L2Config()
+        self.store = AnalysisCache(self.config.capacity_bytes)
+        self.ledger = TimeLedger()
+        self._links = [
+            _NodeLink(spec=self.config.link) for _ in range(num_nodes)
+        ]
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.store)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.store
+
+    @property
+    def hits(self) -> int:
+        return self.store.hits
+
+    @property
+    def misses(self) -> int:
+        return self.store.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.store.hit_rate
+
+    def _link(self, node_id: int) -> _NodeLink:
+        if not (0 <= node_id < len(self._links)):
+            raise ValueError(
+                f"node {node_id} out of range [0, {len(self._links)})"
+            )
+        return self._links[node_id]
+
+    # ------------------------------------------------------------------
+    def fetch(self, node_id: int, key: str, ready_s: float) -> L2Fetch:
+        """Look up ``key`` for ``node_id`` at virtual time ``ready_s``.
+
+        A hit books the analysis bytes on the node's link FIFO and
+        returns the resolved transfer window; the caller (the fleet)
+        stalls the node until :attr:`L2Fetch.end_s` before dispatching.
+        A miss costs nothing here — the node pays the cold analysis.
+        """
+        link = self._link(node_id)
+        entry = self.store.get(key)
+        if entry is None:
+            self.ledger.count("l2_misses")
+            return L2Fetch(key=key, analysis=None, start_s=float(ready_s))
+        start, dur = link.schedule(ready_s, entry.nbytes)
+        self.ledger.charge_busy(dur, f"l2:fetch:node{node_id}")
+        self.ledger.count("l2_hits")
+        self.ledger.count("bytes_l2_fetch", int(entry.nbytes))
+        return L2Fetch(key=key, analysis=entry, start_s=start,
+                       duration_s=dur)
+
+    def put(self, node_id: int, key: str, analysis: ReusableAnalysis,
+            ready_s: float) -> float:
+        """Publish an analysis (write-behind): occupies the node's link
+        but never stalls the node.  Returns the write's completion time
+        on the simulated timeline."""
+        link = self._link(node_id)
+        start, dur = link.schedule(ready_s, analysis.nbytes)
+        self.ledger.charge_busy(dur, f"l2:write:node{node_id}")
+        self.ledger.count("l2_writes")
+        self.ledger.count("bytes_l2_write", int(analysis.nbytes))
+        self.store.put(key, analysis)
+        return start + dur
+
+    def invalidate(self, key: str) -> bool:
+        return self.store.invalidate(key)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Store counters + link occupancy, JSON-shaped."""
+        out = self.store.stats()
+        out["link"] = self.config.link.name
+        out["writes"] = self.ledger.get_count("l2_writes")
+        out["bytes_fetched"] = self.ledger.get_count("bytes_l2_fetch")
+        out["bytes_written"] = self.ledger.get_count("bytes_l2_write")
+        out["links"] = [
+            {
+                "node": i,
+                "ops": lk.ops,
+                "bytes": lk.bytes_total,
+                "busy_seconds": lk.busy_s,
+            }
+            for i, lk in enumerate(self._links)
+        ]
+        return out

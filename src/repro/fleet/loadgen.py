@@ -1,0 +1,237 @@
+"""Fleet trace replay + the :class:`FleetReport` rollup.
+
+Mirrors :mod:`repro.serve.loadgen` one tier up: feed a (possibly
+zipf-skewed, diurnal) :func:`~repro.serve.loadgen.synthesize_trace`
+stream through a :class:`~repro.fleet.Fleet`, absorb typed
+:class:`~repro.fleet.ShedError` rejections (graceful degradation — no
+exception escapes the replay), and roll everything up into per-node
+balance, tier hit rates, shed rate and exact p50/p99 latency
+histograms.  ``repro fleet-bench`` and the ``fleet/serve`` perf
+scenario are both thin wrappers over :func:`run_fleet_load`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..serve.loadgen import TraceRequest
+from ..serve.metrics import Histogram
+from .admission import ShedError
+from .fleet import Fleet, FleetConfig, FleetResponse
+
+__all__ = [
+    "FleetReport",
+    "replay_fleet",
+    "run_fleet_load",
+    "format_fleet_report",
+]
+
+
+def replay_fleet(
+    fleet: Fleet,
+    trace: list[TraceRequest],
+    *,
+    flush_every: int = 8,
+) -> list[FleetResponse]:
+    """Feed ``trace`` through ``fleet``; sheds are absorbed (they are
+    already recorded as ``shed`` responses) and never re-raised."""
+    if flush_every < 1:
+        raise ValueError("flush_every must be >= 1")
+    for event in trace:
+        if event.gap:
+            fleet.tick(event.gap)
+        try:
+            fleet.submit(event.a, event.b)
+        except ShedError:
+            continue  # recorded by the fleet; keep replaying
+        if fleet.pending >= flush_every:
+            fleet.flush()
+    fleet.flush()
+    return fleet.responses()
+
+
+@dataclass
+class FleetReport:
+    """Outcome of one fleet replay (all times are simulated seconds)."""
+
+    num_nodes: int
+    requests: int
+    admitted: int
+    completed: int
+    shed: int
+    errors: int
+    timeouts: int
+    rerouted: int
+    served_l1: int
+    served_l2: int
+    served_cold: int
+    l2_hits: int
+    l2_misses: int
+    makespan_seconds: float
+    latency_p50: float
+    latency_p99: float
+    #: admitted requests per node, node order
+    per_node: list[int] = field(default_factory=list)
+    responses: list[FleetResponse] = field(
+        repr=False, default_factory=list
+    )
+    #: full :meth:`Fleet.stats` snapshot at shutdown
+    stats: dict = field(repr=False, default_factory=dict)
+
+    # -- derived ---------------------------------------------------------
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.requests if self.requests else 0.0
+
+    @property
+    def l1_hit_rate(self) -> float:
+        """Share of admitted requests served from their node's L1."""
+        return self.served_l1 / self.admitted if self.admitted else 0.0
+
+    @property
+    def l2_hit_rate(self) -> float:
+        """L2 store hit rate over its lookups (L1 misses)."""
+        total = self.l2_hits + self.l2_misses
+        return self.l2_hits / total if total else 0.0
+
+    @property
+    def warm_rate(self) -> float:
+        """Share of admitted requests that avoided a cold analysis."""
+        if not self.admitted:
+            return 0.0
+        return (self.served_l1 + self.served_l2) / self.admitted
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per simulated second (0 for an empty or
+        zero-duration replay)."""
+        if self.makespan_seconds <= 0 or not self.completed:
+            return 0.0
+        return self.completed / self.makespan_seconds
+
+    @property
+    def balance(self) -> float:
+        """Max-over-mean admitted requests per node (1.0 = perfectly
+        even; grows with routing skew)."""
+        loaded = [c for c in self.per_node]
+        if not loaded or not self.admitted:
+            return 1.0
+        mean = sum(loaded) / len(loaded)
+        return max(loaded) / mean if mean else 1.0
+
+    # -- export ----------------------------------------------------------
+    def perf_record(self) -> dict:
+        """Exact counters + banded timings for the perf-snapshot suite
+        (shape of every other ``perf_record`` hook)."""
+        counters = {
+            "num_nodes": int(self.num_nodes),
+            "requests": int(self.requests),
+            "admitted": int(self.admitted),
+            "completed": int(self.completed),
+            "shed": int(self.shed),
+            "errors": int(self.errors),
+            "timeouts": int(self.timeouts),
+            "rerouted": int(self.rerouted),
+            "served_l1": int(self.served_l1),
+            "served_l2": int(self.served_l2),
+            "served_cold": int(self.served_cold),
+            "l2_hits": int(self.l2_hits),
+            "l2_misses": int(self.l2_misses),
+        }
+        timings = {
+            "makespan_seconds": float(self.makespan_seconds),
+            "throughput": float(self.throughput),
+            "latency_p50": float(self.latency_p50),
+            "latency_p99": float(self.latency_p99),
+            "l1_hit_rate": float(self.l1_hit_rate),
+            "l2_hit_rate": float(self.l2_hit_rate),
+            "warm_rate": float(self.warm_rate),
+            "shed_rate": float(self.shed_rate),
+            "balance": float(self.balance),
+        }
+        return {"counters": counters, "timings": timings, "labels": {}}
+
+
+def run_fleet_load(
+    trace: list[TraceRequest],
+    config: FleetConfig | None = None,
+    *,
+    flush_every: int = 8,
+    node_overrides: dict | None = None,
+) -> FleetReport:
+    """Replay ``trace`` through a fresh fleet and build a report."""
+    cfg = config or FleetConfig()
+    fleet = Fleet(cfg, node_overrides=node_overrides)
+    responses = replay_fleet(fleet, trace, flush_every=flush_every)
+    stats = fleet.stats()
+    fleet.shutdown()
+
+    latency = Histogram()
+    served = {"l1": 0, "l2": 0, "cold": 0}
+    shed = errors = timeouts = completed = rerouted = 0
+    per_node = [0] * cfg.num_nodes
+    for r in responses:
+        if r.shed:
+            shed += 1
+            continue
+        per_node[r.node_id] += 1
+        if r.rerouted:
+            rerouted += 1
+        if r.served in served:
+            served[r.served] += 1
+        if r.status == "ok":
+            completed += 1
+            latency.record(r.latency)
+        elif r.status == "timeout":
+            timeouts += 1
+        else:
+            errors += 1
+    l2_stats = stats["l2"]
+    return FleetReport(
+        num_nodes=cfg.num_nodes,
+        requests=len(responses),
+        admitted=len(responses) - shed,
+        completed=completed,
+        shed=shed,
+        errors=errors,
+        timeouts=timeouts,
+        rerouted=rerouted,
+        served_l1=served["l1"],
+        served_l2=served["l2"],
+        served_cold=served["cold"],
+        l2_hits=int(l2_stats["hits"]),
+        l2_misses=int(l2_stats["misses"]),
+        makespan_seconds=float(stats["makespan_seconds"]),
+        latency_p50=latency.p50,
+        latency_p99=latency.p99,
+        per_node=per_node,
+        responses=responses,
+        stats=stats,
+    )
+
+
+def format_fleet_report(report: FleetReport) -> str:
+    nodes = " ".join(str(c) for c in report.per_node)
+    lines = [
+        f"nodes             {report.num_nodes}",
+        f"requests          {report.requests}",
+        f"admitted          {report.admitted}",
+        f"completed         {report.completed}",
+        f"shed              {report.shed} "
+        f"(rate {report.shed_rate:.3f})",
+        f"errors/timeouts   {report.errors}/{report.timeouts}",
+        f"rerouted          {report.rerouted}",
+        f"served l1/l2/cold {report.served_l1}/{report.served_l2}"
+        f"/{report.served_cold} (warm rate {report.warm_rate:.3f})",
+        f"l2 store          {report.l2_hits} hits / "
+        f"{report.l2_misses} misses "
+        f"(hit rate {report.l2_hit_rate:.3f})",
+        f"per-node admitted {nodes} (balance {report.balance:.2f})",
+        f"fleet makespan    {report.makespan_seconds * 1e3:.3f} ms "
+        "(simulated)",
+        f"throughput        {report.throughput:.1f} "
+        "req/simulated-second",
+        f"latency p50/p99   {report.latency_p50 * 1e3:.3f} / "
+        f"{report.latency_p99 * 1e3:.3f} ms",
+    ]
+    return "\n".join(lines)

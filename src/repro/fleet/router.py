@@ -1,0 +1,135 @@
+"""Consistent-hash routing of sparsity-pattern keys to fleet nodes.
+
+The cluster-scale serving win (GSoFa: symbolic factorization is the
+scalability bottleneck; GLU3.0: circuit traffic repeats patterns) is
+keeping each warm pattern's analysis resident on *one* node and sending
+every repeat there.  A modulo hash would reshuffle almost every pattern
+whenever the fleet grows or shrinks; the classic fix is a consistent-hash
+ring:
+
+* every node owns ``vnodes`` points on a 64-bit ring (hashes of
+  ``node:<id>:vnode:<i>``);
+* a pattern key routes to the owner of the first ring point at or after
+  the key's own hash (wrapping);
+* adding or removing one node therefore remaps only the keys that fall
+  in that node's arcs — ~K/N of K keys on an N-node ring — while every
+  other pattern keeps its warm home.
+
+Hashes are :func:`hashlib.blake2b` digests of stable byte strings, so
+routing is a pure deterministic function of (members, vnodes, key):
+byte-identical across runs, processes and platforms.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+__all__ = ["HashRing"]
+
+
+def _point(data: str) -> int:
+    """64-bit ring position of a stable byte string."""
+    digest = hashlib.blake2b(data.encode("utf-8"), digest_size=8)
+    return int.from_bytes(digest.digest(), "big")
+
+
+class HashRing:
+    """Consistent-hash ring mapping string keys to integer node ids."""
+
+    def __init__(self, nodes: tuple[int, ...] | list[int] = (),
+                 *, vnodes: int = 96) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = int(vnodes)
+        #: sorted (ring position, node id) pairs
+        self._ring: list[tuple[int, int]] = []
+        self._members: set[int] = set()
+        for node in nodes:
+            self.add_node(node)
+
+    # -- membership ----------------------------------------------------
+    @property
+    def nodes(self) -> tuple[int, ...]:
+        """Current members, ascending."""
+        return tuple(sorted(self._members))
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._members
+
+    def _points_of(self, node_id: int) -> list[tuple[int, int]]:
+        return [
+            (_point(f"node:{node_id}:vnode:{v}"), node_id)
+            for v in range(self.vnodes)
+        ]
+
+    def add_node(self, node_id: int) -> None:
+        """Join ``node_id``; remaps only the arcs it now owns."""
+        node_id = int(node_id)
+        if node_id in self._members:
+            raise ValueError(f"node {node_id} already on the ring")
+        self._members.add(node_id)
+        for pt in self._points_of(node_id):
+            bisect.insort(self._ring, pt)
+
+    def remove_node(self, node_id: int) -> None:
+        """Leave the ring; only this node's keys move (to successors)."""
+        node_id = int(node_id)
+        if node_id not in self._members:
+            raise ValueError(f"node {node_id} not on the ring")
+        self._members.discard(node_id)
+        self._ring = [pt for pt in self._ring if pt[1] != node_id]
+
+    # -- routing -------------------------------------------------------
+    def route(self, key: str) -> int:
+        """Home node of ``key`` (the owner of its ring arc)."""
+        if not self._ring:
+            raise ValueError("cannot route on an empty ring")
+        pos = bisect.bisect_right(self._ring, (_point(f"key:{key}"),))
+        if pos == len(self._ring):
+            pos = 0  # wrap past the highest point
+        return self._ring[pos][1]
+
+    def preference(self, key: str, *, limit: int | None = None
+                   ) -> list[int]:
+        """Distinct nodes in ring order starting at ``key``'s arc.
+
+        The first entry is :meth:`route`'s answer; the rest are the
+        failover order the fleet walks when the home node's breaker is
+        open (each successor is the node that would inherit the key if
+        its predecessors left the ring — so reroutes land exactly where
+        a shrunk ring would put the traffic).
+        """
+        if not self._ring:
+            raise ValueError("cannot route on an empty ring")
+        want = len(self._members) if limit is None else min(
+            int(limit), len(self._members))
+        start = bisect.bisect_right(self._ring, (_point(f"key:{key}"),))
+        order: list[int] = []
+        seen: set[int] = set()
+        for i in range(len(self._ring)):
+            node = self._ring[(start + i) % len(self._ring)][1]
+            if node not in seen:
+                seen.add(node)
+                order.append(node)
+                if len(order) >= want:
+                    break
+        return order
+
+    # -- introspection -------------------------------------------------
+    def share_of(self, keys: list[str]) -> dict[int, int]:
+        """Keys-per-node histogram for a key sample (balance checks)."""
+        counts = {node: 0 for node in self.nodes}
+        for key in keys:
+            counts[self.route(key)] += 1
+        return counts
+
+    def snapshot(self) -> dict:
+        return {
+            "nodes": list(self.nodes),
+            "vnodes": self.vnodes,
+            "points": len(self._ring),
+        }

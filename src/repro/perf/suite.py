@@ -20,6 +20,9 @@ Four scenario families, each seeded and therefore bit-deterministic:
   factorization over four devices (makespan, balance, summed ledgers).
 * ``serve/replay`` — a repeated-pattern trace through the solver service
   (cache hit rate, latency percentiles, speedup vs. cold solves).
+* ``fleet/serve`` — the cluster tier: a zipf trace over a 4-node fleet
+  with a deliberately tight L1 (routing balance, L1/L2 tier hit rates,
+  shed count, exact latency percentiles).
 * ``faults/drill`` — the four-scenario recovery-ladder drill (fault and
   recovery-action counts, outcomes, overheads).
 
@@ -241,6 +244,38 @@ def _serve_scenario(smoke: bool) -> ScenarioRecord:
     return ScenarioRecord.from_parts("serve/replay", report.perf_record())
 
 
+def _fleet_scenario(smoke: bool) -> ScenarioRecord:
+    """Cluster-tier replay: a zipf trace over a 4-node fleet.
+
+    The L1 budget is held just above one analysis (~84 KB at n=120 is
+    ~190 KB; budget 256 KB) so nodes owning several patterns lean on
+    the shared L2 — the snapshot then gates routing balance, both tier
+    hit rates, shed count (must stay 0 at this load) and the exact
+    p50/p99 latencies.
+    """
+    from ..fleet import FleetConfig
+    from ..fleet.loadgen import run_fleet_load
+
+    if smoke:
+        patterns, requests, n = 6, 48, 120
+    else:
+        patterns, requests, n = 8, 144, 160
+    trace = synthesize_trace(
+        num_patterns=patterns,
+        num_requests=requests,
+        n=n,
+        seed=0,
+        popularity="zipf",
+        zipf_s=1.1,
+    )
+    cfg = FleetConfig(
+        num_nodes=4,
+        serve=ServeConfig(cache_capacity_bytes=256 << 10),
+    )
+    report = run_fleet_load(trace, cfg, flush_every=6)
+    return ScenarioRecord.from_parts("fleet/serve", report.perf_record())
+
+
 def _faults_scenario(smoke: bool) -> ScenarioRecord:
     from ..bench.fault_drill import run_fault_drill
 
@@ -263,6 +298,7 @@ def _scenarios(smoke: bool) -> dict[str, Callable[[], ScenarioRecord]]:
         )
     runners["multigpu/e2e"] = partial(_multigpu_e2e_scenario, smoke)
     runners["serve/replay"] = partial(_serve_scenario, smoke)
+    runners["fleet/serve"] = partial(_fleet_scenario, smoke)
     runners["faults/drill"] = partial(_faults_scenario, smoke)
     return runners
 

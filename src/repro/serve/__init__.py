@@ -42,6 +42,7 @@ from .loadgen import (
     restamp,
     run_load,
     synthesize_trace,
+    zipf_weights,
 )
 from .metrics import Histogram, ServiceMetrics, format_metrics
 from .scheduler import (

@@ -29,6 +29,7 @@ __all__ = [
     "TraceRequest",
     "LoadReport",
     "restamp",
+    "zipf_weights",
     "synthesize_trace",
     "replay",
     "cold_baseline_seconds",
@@ -61,6 +62,14 @@ def restamp(pattern: CSRMatrix, seed: int) -> CSRMatrix:
     return out
 
 
+def zipf_weights(num_patterns: int, s: float) -> np.ndarray:
+    """Normalized zipf popularity ``w_p ∝ 1/(p+1)^s`` over patterns."""
+    if s <= 0:
+        raise ValueError("zipf exponent must be positive")
+    w = 1.0 / np.power(np.arange(1, num_patterns + 1, dtype=np.float64), s)
+    return w / w.sum()
+
+
 def synthesize_trace(
     *,
     num_patterns: int = 3,
@@ -70,33 +79,74 @@ def synthesize_trace(
     seed: int = 0,
     arrival_gap: float = 0.0,
     duplicate_fraction: float = 0.1,
+    popularity: str = "roundrobin",
+    zipf_s: float = 1.1,
+    diurnal_amplitude: float = 0.0,
+    diurnal_period: int = 0,
 ) -> list[TraceRequest]:
     """A repeated-pattern request stream.
 
-    Patterns rotate round-robin (every pattern stays warm, like the
-    per-subcircuit matrices of a simulator stepping all subcircuits each
-    timestep); each request gets freshly re-stamped values except a
-    ``duplicate_fraction`` share that reuses the previous value set of
-    its pattern (exercising the scheduler's value-coalescing path).
+    With the default ``popularity="roundrobin"`` patterns rotate (every
+    pattern stays warm, like the per-subcircuit matrices of a simulator
+    stepping all subcircuits each timestep); ``popularity="zipf"`` draws
+    each request's pattern from a zipf distribution with exponent
+    ``zipf_s`` (multi-tenant skew: a few hot tenants dominate, a long
+    tail stays cold — the traffic shape fleet routing and the two-tier
+    cache are built for).  Each request gets freshly re-stamped values
+    except a ``duplicate_fraction`` share that reuses the previous value
+    set of its pattern (exercising the scheduler's value-coalescing
+    path).
+
+    ``diurnal_amplitude`` ∈ [0, 1) with a positive ``diurnal_period``
+    modulates the arrival *rate* sinusoidally over the request index —
+    one period ≈ one synthetic day — so inter-arrival gaps shrink at
+    peak and stretch in the trough:
+    ``gap_i = arrival_gap / (1 + A sin(2π i / period))``.  Everything is
+    driven by ``seed``; the same arguments always produce a
+    byte-identical trace.
     """
     if num_patterns < 1 or num_requests < 1:
         raise ValueError("need at least one pattern and one request")
+    if popularity not in ("roundrobin", "zipf"):
+        raise ValueError(
+            f"popularity must be 'roundrobin' or 'zipf', "
+            f"got {popularity!r}"
+        )
+    if not (0.0 <= diurnal_amplitude < 1.0):
+        raise ValueError("diurnal_amplitude must be in [0, 1)")
+    if diurnal_amplitude > 0.0 and diurnal_period < 2:
+        raise ValueError(
+            "diurnal_amplitude needs diurnal_period >= 2"
+        )
     rng = np.random.default_rng(seed)
     patterns = [
         circuit_like(n, nnz_per_row, seed=seed + 101 * p)
         for p in range(num_patterns)
     ]
+    weights = (
+        zipf_weights(num_patterns, zipf_s)
+        if popularity == "zipf" else None
+    )
     last_stamp: dict[int, CSRMatrix] = {}
     trace: list[TraceRequest] = []
     for i in range(num_requests):
-        p = i % num_patterns
+        if weights is None:
+            p = i % num_patterns
+        else:
+            p = int(rng.choice(num_patterns, p=weights))
         if p in last_stamp and rng.random() < duplicate_fraction:
             a = last_stamp[p]
         else:
             a = restamp(patterns[p], seed=seed + 7919 * i)
             last_stamp[p] = a
         b = rng.normal(size=n)
-        trace.append(TraceRequest(pattern_id=p, a=a, b=b, gap=arrival_gap))
+        gap = arrival_gap
+        if diurnal_amplitude > 0.0 and gap > 0.0:
+            rate = 1.0 + diurnal_amplitude * float(
+                np.sin(2.0 * np.pi * i / diurnal_period)
+            )
+            gap = arrival_gap / rate
+        trace.append(TraceRequest(pattern_id=p, a=a, b=b, gap=gap))
     return trace
 
 
@@ -120,16 +170,20 @@ class LoadReport:
 
     @property
     def speedup(self) -> float:
-        """Cold-solve baseline time over serviced time (higher = better)."""
-        if self.service_seconds <= 0:
-            return float("inf")
+        """Cold-solve baseline time over serviced time (higher =
+        better).  A zero-duration replay (empty trace, or every request
+        shed before touching a device) reports 0.0 rather than a
+        meaningless infinity."""
+        if self.service_seconds <= 0 or self.baseline_seconds <= 0:
+            return 0.0
         return self.baseline_seconds / self.service_seconds
 
     @property
     def throughput(self) -> float:
-        """Completed requests per simulated second."""
-        if self.service_seconds <= 0:
-            return float("inf")
+        """Completed requests per simulated second (0.0 for
+        zero-duration traces)."""
+        if self.service_seconds <= 0 or not self.completed:
+            return 0.0
         return self.completed / self.service_seconds
 
     def perf_record(self) -> dict:

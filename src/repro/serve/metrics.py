@@ -133,6 +133,10 @@ def format_metrics(snapshot: dict) -> str:
             f"evictions={cache['evictions']} "
             f"invalidations={cache['invalidations']}"
         )
+        lines.append(
+            f"  insertions={cache['insertions']} "
+            f"uncacheable={cache['uncacheable']}"
+        )
     devices = snapshot.get("devices")
     if devices:
         lines.append("devices:")

@@ -43,7 +43,9 @@ executes, so latencies and throughput are deterministic.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -263,6 +265,12 @@ class BatchScheduler:
         self.placement = placement
         #: round-robin cursor for cold patterns under spread placement
         self._spread_next = 0
+        #: optional hook fired when this scheduler *builds* an analysis
+        #: (not when it adopts one) — the fleet tier uses it for
+        #: write-through publication to the shared L2 cache
+        self.on_install: (
+            Callable[[str, ReusableAnalysis], None] | None
+        ) = None
 
     # ------------------------------------------------------------------
     @property
@@ -320,6 +328,42 @@ class BatchScheduler:
             responses.extend(self._dispatch_batch(batch, now))
         responses.sort(key=lambda r: r.request_id)
         return responses
+
+    # ------------------------------------------------------------------
+    def _install(self, key: str, analysis: ReusableAnalysis,
+                 device_id: int, *, built: bool = True) -> None:
+        """Insert an analysis into the cache (surfacing evictions) and
+        pin the pattern's affinity to ``device_id``.  ``built`` marks a
+        locally constructed analysis (fires :attr:`on_install`) as
+        opposed to one adopted from an external tier."""
+        evicted = self.cache.put(key, analysis)
+        if evicted:
+            self.metrics.count("cache_evictions", len(evicted))
+            for old in evicted:
+                self._affinity.pop(old, None)
+        if key in self.cache:  # refused oversized entries stay cold
+            self._affinity[key] = device_id
+        else:
+            self._affinity.pop(key, None)
+        if built and self.on_install is not None:
+            self.on_install(key, analysis)
+
+    def adopt_analysis(
+        self, key: str, analysis: ReusableAnalysis
+    ) -> int:
+        """Install an externally built analysis (an L2-tier fetch from
+        :mod:`repro.fleet`) as if this scheduler had analyzed ``key``
+        itself.  The analysis is rebound to the least-loaded device's
+        GPU — it is pure pattern state, so only the timeline moves, the
+        factors it produces stay bitwise-identical — cached, and the
+        pattern's affinity pinned there.  Returns the adopting device
+        id."""
+        device = self.pool.least_loaded()
+        local = copy.copy(analysis)
+        local.gpu = device.gpu
+        self._install(key, local, device.device_id, built=False)
+        self.metrics.count("adopted_analyses")
+        return device.device_id
 
     # ------------------------------------------------------------------
     def _device_for(
@@ -438,8 +482,7 @@ class BatchScheduler:
                 self.metrics.count("evicted_before_dispatch")
             analysis, elapsed = self._analyze_on(device, batch.requests[0].a)
             t += elapsed
-            self.cache.put(batch.key, analysis)
-            self._affinity[batch.key] = device.device_id
+            self._install(batch.key, analysis, device.device_id)
 
         # coalesce bit-identical value sets onto one refactorization each
         by_values: dict[str, list[SolveRequest]] = {}
@@ -521,8 +564,7 @@ class BatchScheduler:
                 self.metrics.count("retries")
                 backoff += policy.delay(attempt)
                 analysis, _ = self._analyze_on(device, a)
-                self.cache.put(batch.key, analysis)
-                self._affinity[batch.key] = device.device_id
+                self._install(batch.key, analysis, device.device_id)
                 retried = True
         numeric_s = device.gpu.ledger.total_seconds - t0 + backoff
         self.metrics.charge("numeric", result.sim_seconds)

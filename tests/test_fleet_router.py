@@ -1,0 +1,133 @@
+"""Property tests (hypothesis) on the consistent-hash ring.
+
+The two properties that make consistent hashing worth its complexity:
+
+* **balance** — with enough virtual nodes, a key population spreads
+  across the members within a constant factor of fair share;
+* **minimal disruption** — membership churn only remaps the keys of the
+  node that joined or left; every other key keeps its home (and with it
+  its warm L1 analysis).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fleet import HashRing
+
+pytestmark = pytest.mark.fleet
+
+_KEYS = [f"pattern:{i}" for i in range(400)]
+
+
+def _routes(ring: HashRing) -> dict[str, int]:
+    return {k: ring.route(k) for k in _KEYS}
+
+
+# ---------------------------------------------------------------------------
+# determinism + basics
+# ---------------------------------------------------------------------------
+def test_route_is_deterministic_across_instances():
+    a = HashRing((0, 1, 2, 3))
+    b = HashRing((3, 2, 1, 0))  # insertion order must not matter
+    assert _routes(a) == _routes(b)
+
+
+def test_route_requires_members():
+    ring = HashRing()
+    with pytest.raises(ValueError):
+        ring.route("k")
+    with pytest.raises(ValueError):
+        ring.preference("k")
+
+
+def test_membership_errors():
+    ring = HashRing((0, 1))
+    with pytest.raises(ValueError):
+        ring.add_node(1)
+    with pytest.raises(ValueError):
+        ring.remove_node(7)
+
+
+def test_preference_starts_at_home_and_covers_all_nodes():
+    ring = HashRing(tuple(range(5)))
+    for key in _KEYS[:50]:
+        pref = ring.preference(key)
+        assert pref[0] == ring.route(key)
+        assert sorted(pref) == list(range(5))
+        assert ring.preference(key, limit=2) == pref[:2]
+
+
+# ---------------------------------------------------------------------------
+# balance
+# ---------------------------------------------------------------------------
+@given(num_nodes=st.integers(min_value=2, max_value=8))
+@settings(max_examples=20, deadline=None)
+def test_key_balance_within_constant_factor(num_nodes):
+    """No member owns more than ~3x fair share of a 400-key population
+    (vnodes=96; the bound is loose but catches broken hashing cold)."""
+    ring = HashRing(tuple(range(num_nodes)))
+    counts = ring.share_of(_KEYS)
+    fair = len(_KEYS) / num_nodes
+    assert sum(counts.values()) == len(_KEYS)
+    assert max(counts.values()) <= 3.0 * fair
+    assert min(counts.values()) > 0
+
+
+# ---------------------------------------------------------------------------
+# minimal disruption
+# ---------------------------------------------------------------------------
+@given(
+    num_nodes=st.integers(min_value=2, max_value=8),
+    victim=st.integers(min_value=0, max_value=7),
+)
+@settings(max_examples=30, deadline=None)
+def test_removing_a_node_remaps_only_its_keys(num_nodes, victim):
+    victim = victim % num_nodes
+    ring = HashRing(tuple(range(num_nodes)))
+    before = _routes(ring)
+    ring.remove_node(victim)
+    after = _routes(ring)
+    for key in _KEYS:
+        if before[key] == victim:
+            assert after[key] != victim
+        else:
+            # every other key keeps its warm home
+            assert after[key] == before[key]
+
+
+@given(num_nodes=st.integers(min_value=1, max_value=7))
+@settings(max_examples=20, deadline=None)
+def test_adding_a_node_remaps_only_to_the_new_node(num_nodes):
+    ring = HashRing(tuple(range(num_nodes)))
+    before = _routes(ring)
+    ring.add_node(num_nodes)
+    after = _routes(ring)
+    moved = 0
+    for key in _KEYS:
+        if after[key] != before[key]:
+            assert after[key] == num_nodes
+            moved += 1
+    # the newcomer takes roughly a 1/(N+1) share, never everything
+    assert moved < len(_KEYS)
+
+
+def test_remove_then_readd_restores_routing():
+    """Arc ownership is positional: a node that rejoins gets exactly
+    its old keys back (this is why breaker recovery needs no state)."""
+    ring = HashRing(tuple(range(4)))
+    before = _routes(ring)
+    ring.remove_node(2)
+    ring.add_node(2)
+    assert _routes(ring) == before
+
+
+def test_preference_matches_shrunk_ring():
+    """preference()[1] is where the key would live if its home left —
+    reroutes land exactly where a shrunk ring would put the traffic."""
+    ring = HashRing(tuple(range(4)))
+    for key in _KEYS[:50]:
+        pref = ring.preference(key)
+        shrunk = HashRing(tuple(n for n in range(4) if n != pref[0]))
+        assert shrunk.route(key) == pref[1]
