@@ -32,6 +32,11 @@ Commands
               point; reports throughput scaling, tier split, shed rate
               and the bitwise results-identical flag (see
               docs/fleet.md).
+``churn-drill``   replay a trace through a 4-node fleet while the
+              topology churns (join with L2 warm-up, graceful drain,
+              crash); gates remap fraction vs the ring bound, bitwise
+              identity of every non-shed response, p99 recovery and
+              rerun determinism (see docs/churn.md).
 ``fault-drill``   run the four fault/recovery scenarios (flaky link,
               OOM storm, singular workload, dead device) and verify
               every one recovers or degrades to the CPU fallback, with
@@ -272,6 +277,12 @@ def cmd_fault_drill(args) -> int:
     from .bench.fault_drill import run_fault_drill_cli
 
     return run_fault_drill_cli(smoke=args.smoke, seed=args.seed)
+
+
+def cmd_churn_drill(args) -> int:
+    from .bench.churn import run_churn_drill_cli
+
+    return run_churn_drill_cli(smoke=args.smoke, seed=args.seed)
 
 
 def cmd_perf(args) -> int:
@@ -517,6 +528,18 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--seed", type=int, default=0,
                     help="fault-plan seed (same seed -> identical drill)")
     sp.set_defaults(fn=cmd_fault_drill)
+
+    sp = sub.add_parser(
+        "churn-drill",
+        help="replay a trace through a 4-node fleet while nodes join, "
+             "drain out, and crash mid-flight; gates remap fraction, "
+             "bitwise identity, p99 recovery and rerun determinism",
+    )
+    sp.add_argument("--smoke", action="store_true",
+                    help="small trace (CI-sized run)")
+    sp.add_argument("--seed", type=int, default=0,
+                    help="trace seed (same seed -> identical drill)")
+    sp.set_defaults(fn=cmd_churn_drill)
 
     sp = sub.add_parser(
         "perf",

@@ -14,9 +14,15 @@ package scales that amortization to a *fleet*:
   :class:`ShedError` rejections and per-node circuit breakers that
   reroute to ring successors;
 * :mod:`~repro.fleet.fleet` — the :class:`Fleet` facade
-  (``submit`` / ``flush`` / ``solve`` / ``stats`` / ``shutdown``);
+  (``submit`` / ``flush`` / ``solve`` / ``stats`` / ``shutdown``,
+  plus live membership: ``join_node`` / ``leave_node`` /
+  ``apply_churn``);
+* :mod:`~repro.fleet.churn` — scripted topology churn
+  (:class:`ChurnPlan` of join/leave events, :class:`ChurnRecord`
+  outcomes, typed :class:`NodeLostError` for crashed-node sheds);
 * :mod:`~repro.fleet.loadgen` — trace replay + :class:`FleetReport`
-  (balance, tier hit rates, shed rate, exact p50/p99).
+  (balance, tier hit rates, shed rate, exact p50/p99), optionally
+  churn-annotated.
 
 Correctness contract: every admitted response is bitwise-identical to a
 single-node :class:`~repro.serve.SolverService` replay of the same
@@ -34,20 +40,34 @@ Quickstart::
 """
 
 from .admission import AdmissionConfig, AdmissionController, ShedError
+from .churn import (
+    ChurnEvent,
+    ChurnPlan,
+    ChurnRecord,
+    NodeLostError,
+    probe_keys,
+)
 from .fleet import Fleet, FleetConfig, FleetResponse
 from .l2cache import L2Cache, L2Config, L2Fetch
 from .loadgen import (
     FleetReport,
+    churn_plan_for_trace,
     format_fleet_report,
     replay_fleet,
     run_fleet_load,
+    synthesize_churn_trace,
 )
-from .router import HashRing
+from .router import HashRing, RingMembershipError
 
 __all__ = [
     "AdmissionConfig",
     "AdmissionController",
     "ShedError",
+    "ChurnEvent",
+    "ChurnPlan",
+    "ChurnRecord",
+    "NodeLostError",
+    "probe_keys",
     "Fleet",
     "FleetConfig",
     "FleetResponse",
@@ -55,8 +75,11 @@ __all__ = [
     "L2Config",
     "L2Fetch",
     "FleetReport",
+    "churn_plan_for_trace",
     "format_fleet_report",
     "replay_fleet",
     "run_fleet_load",
+    "synthesize_churn_trace",
     "HashRing",
+    "RingMembershipError",
 ]

@@ -25,11 +25,19 @@ Three mechanisms:
 
 All decisions are functions of the simulated clock, so shed patterns are
 byte-identical run to run.
+
+Under live topology churn (``docs/churn.md``) the member set is no
+longer fixed at construction: :meth:`AdmissionController.register_node`
+creates a queue + breaker for a joiner at runtime and
+:meth:`AdmissionController.retire_node` removes a leaver's, archiving
+its final breaker snapshot (state + last-transition clock) so the churn
+drill can assert retirement after the fact.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from ..errors import ServeError
 from ..serve.breaker import BreakerConfig, CircuitBreaker
@@ -74,22 +82,64 @@ class AdmissionConfig:
 
 
 class AdmissionController:
-    """Pending-count bookkeeping + node breakers for one fleet."""
+    """Pending-count bookkeeping + node breakers for one fleet.
 
-    def __init__(self, num_nodes: int,
+    Internals are keyed by node id (not list position) so members may
+    join and retire at runtime with non-contiguous ids.
+    """
+
+    def __init__(self, nodes: int | Iterable[int],
                  config: AdmissionConfig | None = None) -> None:
-        if num_nodes < 1:
-            raise ValueError("num_nodes must be >= 1")
+        node_ids = (
+            list(range(nodes)) if isinstance(nodes, int) else
+            [int(n) for n in nodes]
+        )
+        if not node_ids:
+            raise ValueError("at least one node is required")
         self.config = config or AdmissionConfig()
-        self.pending = [0] * num_nodes
-        self.breakers = [
-            CircuitBreaker(config=self.config.breaker)
-            for _ in range(num_nodes)
-        ]
-        self.admitted = [0] * num_nodes
-        self.shed_by_node = [0] * num_nodes
+        self.pending: dict[int, int] = {}
+        self.breakers: dict[int, CircuitBreaker] = {}
+        self.admitted: dict[int, int] = {}
+        self.shed_by_node: dict[int, int] = {}
+        #: final breaker snapshot + retirement clock of departed nodes
+        self.retired: dict[int, dict] = {}
         self.sheds = 0
         self.reroutes = 0
+        for node_id in node_ids:
+            self.register_node(node_id)
+
+    # -- churn ---------------------------------------------------------
+    def register_node(self, node_id: int) -> None:
+        """Create the queue and breaker for a node joining the fleet."""
+        node_id = int(node_id)
+        if node_id in self.pending:
+            raise ValueError(f"node {node_id} already registered")
+        self.pending[node_id] = 0
+        self.breakers[node_id] = CircuitBreaker(config=self.config.breaker)
+        self.admitted[node_id] = 0
+        self.shed_by_node[node_id] = 0
+        # a retired id may rejoin; the archived record stays until then
+        self.retired.pop(node_id, None)
+
+    def retire_node(self, node_id: int, now: float = 0.0) -> dict:
+        """Drop a leaver's queue/breaker; archive and return its final
+        breaker snapshot (with the retirement clock) for the drill."""
+        node_id = int(node_id)
+        if node_id not in self.pending:
+            raise ValueError(f"node {node_id} not registered")
+        record = {
+            "breaker": self.breakers[node_id].snapshot(),
+            "retired_at_s": float(now),
+            "pending_at_retire": self.pending[node_id],
+            "admitted": self.admitted[node_id],
+            "shed": self.shed_by_node[node_id],
+        }
+        del self.pending[node_id]
+        del self.breakers[node_id]
+        del self.admitted[node_id]
+        del self.shed_by_node[node_id]
+        self.retired[node_id] = record
+        return record
 
     # ------------------------------------------------------------------
     def allow(self, node_id: int, now: float) -> bool:
@@ -157,11 +207,21 @@ class AdmissionController:
 
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
+        """Keyed by node id; ``breakers`` entries carry the breaker's
+        state and last-transition clock, ``retired`` the archived
+        records of departed nodes."""
         return {
-            "pending": list(self.pending),
-            "admitted": list(self.admitted),
-            "shed_by_node": list(self.shed_by_node),
+            "pending": dict(self.pending),
+            "admitted": dict(self.admitted),
+            "shed_by_node": dict(self.shed_by_node),
             "sheds": self.sheds,
             "reroutes": self.reroutes,
-            "breakers": [b.snapshot() for b in self.breakers],
+            "breakers": {
+                node_id: breaker.snapshot()
+                for node_id, breaker in self.breakers.items()
+            },
+            "retired": {
+                node_id: dict(record)
+                for node_id, record in self.retired.items()
+            },
         }

@@ -1,0 +1,193 @@
+"""Live fleet topology churn: scripted joins and leaves mid-replay.
+
+The `HashRing`'s minimal-disruption property (only ~K/N keys move when
+one of N members churns) is proven statically by hypothesis tests; this
+module makes it *operational*.  A :class:`ChurnPlan` is a deterministic,
+clock-ordered script of membership events on the trace's arrival
+timeline; ``replay_fleet`` applies each event the moment the arrival
+clock passes its ``t``:
+
+* ``join(node_id, t)`` — splice a fresh ``SolverService`` into the
+  ring, register its admission queue/breaker and L2 link, then pre-warm
+  its L1 from the shared L2 for the arc keys it now owns (each fetch
+  charged over its ``LinkSpec`` FIFO — warm-up is paid, not free).
+* ``leave(node_id, t, graceful=True)`` — **drain**: stage + flush the
+  leaver's inflight/queued work to completion (responses stay
+  bitwise-identical), publish its hot L1 arcs to the L2, wait out its
+  write-behind publishes, then remove it from the ring.
+* ``leave(node_id, t, graceful=False)`` — **crash**: inflight work is
+  shed with a typed :class:`NodeLostError`, publishes still on the wire
+  are rolled back out of the L2 store, and the node's warm L1 is lost;
+  subsequent traffic re-routes via the ring's ``preference()`` walk.
+
+Every event yields a :class:`ChurnRecord` carrying the measured remap
+fraction over a fixed probe-key population against the ring-theoretical
+bound (``1/N`` ± ``~1/sqrt(vnodes)`` spread) — the churn drill gates
+``measured <= bound + 0.05``.
+
+Like everything else in the repository, churn is simulated-time pure:
+the same (trace, plan, seed) replays byte-identically, and admitted
+responses stay bitwise-identical to a single-service replay — topology
+moves only *time*, never numerics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..errors import ServeError
+
+__all__ = [
+    "ChurnEvent",
+    "ChurnPlan",
+    "ChurnRecord",
+    "NodeLostError",
+    "probe_keys",
+]
+
+#: probe population size for remap-fraction measurement; large enough
+#: that the vnode spread (~1/sqrt(96) relative) stays well inside the
+#: drill's +5-point tolerance, small enough to stay cheap
+PROBE_POPULATION = 1024
+
+
+def probe_keys(count: int = PROBE_POPULATION) -> list[str]:
+    """Fixed synthetic key population for remap measurement.
+
+    Deterministic and disjoint from real pattern keys (which are hex
+    digests), so the measured fraction is a stable property of the ring
+    mutation alone, independent of the replayed trace.
+    """
+    return [f"arc-probe:{i}" for i in range(int(count))]
+
+
+class NodeLostError(ServeError):
+    """A node crashed (non-graceful leave) with work in flight.
+
+    The shed request indices are recorded as ``"lost"``
+    ``FleetResponse`` entries *before* this propagates, mirroring the
+    ``ShedError`` contract — nothing escapes the boundary unaccounted.
+    """
+
+    def __init__(self, node_id: int, lost_indices: list[int]) -> None:
+        self.node_id = int(node_id)
+        self.lost_indices = list(lost_indices)
+        #: attached by ``Fleet.leave_node`` so ``apply_churn`` can
+        #: recover the event's outcome after catching the error
+        self.record: "ChurnRecord | None" = None
+        super().__init__(
+            f"node {node_id} lost with {len(self.lost_indices)} "
+            f"request(s) in flight"
+        )
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One scripted membership change at arrival time ``t``."""
+
+    #: arrival-timeline instant (cumulative trace gaps) the event fires
+    t: float
+    #: ``"join"`` or ``"leave"``
+    action: str
+    node_id: int
+    #: leaves only: drain (True) vs crash (False); ignored for joins
+    graceful: bool = True
+
+    def __post_init__(self) -> None:
+        if self.t < 0:
+            raise ValueError("event time must be >= 0")
+        if self.action not in ("join", "leave"):
+            raise ValueError(
+                f"action must be 'join' or 'leave', got {self.action!r}"
+            )
+        if self.node_id < 0:
+            raise ValueError("node_id must be >= 0")
+
+    def describe(self) -> str:
+        if self.action == "join":
+            return f"join node {self.node_id} @ t={self.t:.4f}s"
+        kind = "leave" if self.graceful else "crash"
+        return f"{kind} node {self.node_id} @ t={self.t:.4f}s"
+
+
+@dataclass(frozen=True)
+class ChurnPlan:
+    """Clock-ordered membership script applied during a replay."""
+
+    events: tuple[ChurnEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        times = [ev.t for ev in self.events]
+        if times != sorted(times):
+            raise ValueError("ChurnPlan events must be clock-ordered")
+
+    @classmethod
+    def ordered(cls, events: Iterable[ChurnEvent]) -> "ChurnPlan":
+        """Build a plan from events in any order (stable time sort)."""
+        return cls(tuple(sorted(events, key=lambda ev: ev.t)))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def describe(self) -> str:
+        return "; ".join(ev.describe() for ev in self.events) or "(empty)"
+
+
+@dataclass
+class ChurnRecord:
+    """Outcome of one applied :class:`ChurnEvent`."""
+
+    action: str  # "join" | "leave" | "crash"
+    node_id: int
+    #: fleet virtual clock when the event was applied
+    t_s: float
+    #: ring epoch after the mutation
+    epoch: int
+    #: fraction of the probe population whose home moved
+    remap_fraction: float
+    #: 1/N expectation for this mutation (N counts the churning node)
+    theoretical_bound: float
+    #: join: arc keys adopted from L2 into the newcomer's L1
+    warmed_keys: int = 0
+    warmed_bytes: int = 0
+    #: join: serialized wire time of the warm-up fetches
+    warm_seconds: float = 0.0
+    #: graceful leave: responses drained to completion
+    drained: int = 0
+    #: graceful leave: hot L1 arcs published to L2 before departure
+    published_keys: int = 0
+    #: crash: inflight requests shed as "lost"
+    lost: int = 0
+    #: crash: write-behind publishes rolled back out of the L2 store
+    aborted_writes: int = 0
+    #: trace position when the replay applied the event (-1 if applied
+    #: outside a replay loop)
+    applied_at_index: int = -1
+
+    @property
+    def within_bound(self) -> bool:
+        """Drill gate: measured remap within the theoretical bound +5pt."""
+        return self.remap_fraction <= self.theoretical_bound + 0.05
+
+    def as_dict(self) -> dict:
+        return {
+            "action": self.action,
+            "node_id": self.node_id,
+            "t_s": self.t_s,
+            "epoch": self.epoch,
+            "remap_fraction": self.remap_fraction,
+            "theoretical_bound": self.theoretical_bound,
+            "within_bound": self.within_bound,
+            "warmed_keys": self.warmed_keys,
+            "warmed_bytes": self.warmed_bytes,
+            "warm_seconds": self.warm_seconds,
+            "drained": self.drained,
+            "published_keys": self.published_keys,
+            "lost": self.lost,
+            "aborted_writes": self.aborted_writes,
+            "applied_at_index": self.applied_at_index,
+        }

@@ -17,10 +17,20 @@ one cluster-scale tier:
   per-node queues, sheds with typed :class:`ShedError` under overload,
   and walks ring successors when a node's breaker is open.
 
+The membership is **live** (``docs/churn.md``): :meth:`Fleet.join_node`
+splices a new node into the ring mid-replay and pre-warms its L1 from
+the L2 for the arcs it now owns; :meth:`Fleet.leave_node` drains a
+graceful leaver to completion (publishing its hot arcs) or sheds a
+crashed node's inflight work with a typed
+:class:`~repro.fleet.churn.NodeLostError`.  Each event yields a
+:class:`~repro.fleet.churn.ChurnRecord` with the measured remap
+fraction against the ring-theoretical bound.
+
 Correctness contract (locked by the differential tests): every admitted
 response's solution vector is **bitwise-identical** to replaying the
 same trace through a single :class:`SolverService` — routing, caching
-tier, node count and shedding may only move *time*, never numerics.
+tier, node count, shedding and topology churn may only move *time*,
+never numerics.
 """
 
 from __future__ import annotations
@@ -36,8 +46,9 @@ from ..serve.scheduler import SolveResponse
 from ..serve.service import ServeConfig, SolverService
 from ..sparse import CSRMatrix
 from .admission import AdmissionConfig, AdmissionController, ShedError
+from .churn import ChurnEvent, ChurnRecord, NodeLostError, probe_keys
 from .l2cache import L2Cache, L2Config
-from .router import HashRing
+from .router import HashRing, RingMembershipError
 
 __all__ = ["FleetConfig", "FleetResponse", "Fleet"]
 
@@ -68,10 +79,13 @@ class FleetConfig:
 class FleetResponse:
     """Outcome of one fleet submission, in submission order.
 
-    ``status`` extends the service statuses with ``shed``; ``served``
+    ``status`` extends the service statuses with ``shed`` (refused at
+    admission) and ``lost`` (in flight on a crashed node); ``served``
     says which tier produced the analysis the request ran on:
     ``l1`` (home-node hit), ``l2`` (fetched from the shared tier),
-    ``cold`` (full analysis), or ``none`` (shed — no work done).
+    ``cold`` (full analysis), or ``none`` (shed/lost — no work done).
+    ``epoch`` is the ring topology version the request was admitted
+    under.
     """
 
     index: int
@@ -81,6 +95,8 @@ class FleetResponse:
     served: str = "none"
     rerouted: bool = False
     response: SolveResponse | None = None
+    epoch: int = 0
+    error: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -89,6 +105,10 @@ class FleetResponse:
     @property
     def shed(self) -> bool:
         return self.status == "shed"
+
+    @property
+    def lost(self) -> bool:
+        return self.status == "lost"
 
     @property
     def x(self) -> np.ndarray | None:
@@ -111,6 +131,7 @@ class _Inflight:
     key: str
     request_id: int
     rerouted: bool
+    epoch: int = 0
 
 
 class Fleet:
@@ -136,25 +157,33 @@ class Fleet:
                 raise ValueError(
                     f"override for unknown node {node_id}"
                 )
-        self.nodes = [
-            SolverService(overrides.get(i, self.config.serve))
+        #: live members, keyed by node id (ids need not be contiguous
+        #: once churn has happened)
+        self.nodes: dict[int, SolverService] = {
+            i: SolverService(overrides.get(i, self.config.serve))
             for i in range(self.config.num_nodes)
-        ]
+        }
         self.ring = HashRing(
             tuple(range(self.config.num_nodes)),
             vnodes=self.config.vnodes,
         )
         self.l2 = L2Cache(self.config.l2, self.config.num_nodes)
         self.admission = AdmissionController(
-            self.config.num_nodes, self.config.admission
+            range(self.config.num_nodes), self.config.admission
         )
         if self.config.l2.write_through:
-            for node_id, node in enumerate(self.nodes):
+            for node_id, node in self.nodes.items():
                 node.scheduler.on_install = self._publisher(node_id)
         self._inflight: dict[int, list[_Inflight]] = {
             i: [] for i in range(self.config.num_nodes)
         }
         self._responses: dict[int, FleetResponse] = {}
+        #: applied membership events, in order
+        self.churn_log: list[ChurnRecord] = []
+        #: final service stats of departed nodes (popped on rejoin)
+        self._departed_stats: dict[int, dict] = {}
+        #: max busy time ever reached by a departed node
+        self._departed_makespan = 0.0
         self._seq = 0
         self._clock = 0.0
         self._closed = False
@@ -171,12 +200,24 @@ class Fleet:
         return self._closed
 
     def shutdown(self, *, drain: bool = True) -> list[FleetResponse]:
-        """Drain (default) or discard queued work, then refuse more."""
+        """Drain (default) or discard queued work, then refuse more.
+
+        Draining also waits out every node's queued L2 write-behind
+        publishes, so the store durably holds each published analysis;
+        ``drain=False`` rolls publishes still on the wire back out of
+        the store (the discard is clean — no half-written entries).
+        """
         if self._closed:
             return []
         out = self.flush() if drain else []
         self._closed = True
-        for node in self.nodes:
+        for node_id, node in self.nodes.items():
+            if drain:
+                done = self.l2.flush_writes(node_id, node.clock)
+                if done > node.clock:
+                    node.tick(done - node.clock)
+            else:
+                self.l2.abort_writes(node_id, node.clock)
             node.shutdown(drain=drain)
         return out
 
@@ -189,7 +230,7 @@ class Fleet:
     def clock(self) -> float:
         """Fleet virtual time (max over node clocks and explicit ticks)."""
         return max(
-            self._clock, max(n.clock for n in self.nodes)
+            [self._clock] + [n.clock for n in self.nodes.values()]
         )
 
     def tick(self, dt: float) -> float:
@@ -197,7 +238,7 @@ class Fleet:
         if dt < 0:
             raise ValueError("cannot tick backwards")
         self._clock += float(dt)
-        for node in self.nodes:
+        for node in self.nodes.values():
             node.tick(dt)
         return self.clock
 
@@ -232,7 +273,7 @@ class Fleet:
         except ShedError as exc:
             self._responses[index] = FleetResponse(
                 index=index, node_id=exc.node_id, key=key,
-                status="shed",
+                status="shed", epoch=self.ring.epoch,
             )
             exc.index = index  # type: ignore[attr-defined]
             raise
@@ -246,6 +287,7 @@ class Fleet:
             self.admission.count_shed(node_id)
             self._responses[index] = FleetResponse(
                 index=index, node_id=node_id, key=key, status="shed",
+                epoch=self.ring.epoch,
             )
             shed = ShedError(node_id, exc.depth, exc.capacity)
             shed.index = index  # type: ignore[attr-defined]
@@ -254,6 +296,7 @@ class Fleet:
             _Inflight(
                 index=index, key=key, request_id=rid,
                 rerouted=node_id != preference[0],
+                epoch=self.ring.epoch,
             )
         )
         return index
@@ -297,41 +340,50 @@ class Fleet:
             # labels say so)
         return fetched
 
+    def _flush_node(self, node_id: int) -> list[FleetResponse]:
+        """Stage + drain one node's inflight work (the per-node body of
+        :meth:`flush`; the graceful-leave drain uses it directly)."""
+        jobs = self._inflight[node_id]
+        if not jobs:
+            return []
+        node = self.nodes[node_id]
+        fetched = self._stage_l2(node_id)
+        responses = {
+            r.request_id: r for r in node.flush()
+        }
+        self.admission.release(node_id, len(jobs))
+        out: list[FleetResponse] = []
+        for job in jobs:
+            resp = responses.get(job.request_id)
+            if resp is None:  # defensive: node dropped the request
+                continue
+            if job.key in fetched:
+                served = "l2"
+            elif resp.cache_hit:
+                served = "l1"
+            else:
+                served = "cold"
+            self.admission.record_result(
+                node_id, resp.status != "error", resp.finish
+            )
+            fr = FleetResponse(
+                index=job.index, node_id=node_id, key=job.key,
+                status=resp.status, served=served,
+                rerouted=job.rerouted, response=resp,
+                epoch=job.epoch,
+            )
+            self._responses[job.index] = fr
+            out.append(fr)
+        self._inflight[node_id] = []
+        return out
+
     def flush(self) -> list[FleetResponse]:
         """Stage L2 fetches, drain every node, feed the breakers, and
         return this round's responses in submission order."""
         self._check_open()
         out: list[FleetResponse] = []
-        for node_id, jobs in self._inflight.items():
-            if not jobs:
-                continue
-            node = self.nodes[node_id]
-            fetched = self._stage_l2(node_id)
-            responses = {
-                r.request_id: r for r in node.flush()
-            }
-            self.admission.release(node_id, len(jobs))
-            for job in jobs:
-                resp = responses.get(job.request_id)
-                if resp is None:  # defensive: node dropped the request
-                    continue
-                if job.key in fetched:
-                    served = "l2"
-                elif resp.cache_hit:
-                    served = "l1"
-                else:
-                    served = "cold"
-                self.admission.record_result(
-                    node_id, resp.status != "error", resp.finish
-                )
-                fr = FleetResponse(
-                    index=job.index, node_id=node_id, key=job.key,
-                    status=resp.status, served=served,
-                    rerouted=job.rerouted, response=resp,
-                )
-                self._responses[job.index] = fr
-                out.append(fr)
-            self._inflight[node_id] = []
+        for node_id in list(self._inflight):
+            out.extend(self._flush_node(node_id))
         self._clock = max(self._clock, self.clock)
         return sorted(out, key=lambda r: r.index)
 
@@ -353,13 +405,199 @@ class Fleet:
         """Home node the ring would pick for ``a``'s pattern."""
         return self.ring.route(pattern_key(a))
 
+    def _measure_remap(self, mutate) -> tuple[float, float]:
+        """Run ``mutate()`` (a ring membership change) and return the
+        (measured, theoretical-bound) remap fractions over the fixed
+        probe population.  The bound denominator counts the churning
+        node, so it is taken on whichever side of the mutation has the
+        larger ring."""
+        probes = probe_keys()
+        n_before = len(self.ring)
+        before = (
+            self.ring.route_table(probes) if n_before else {}
+        )
+        mutate()
+        after = (
+            self.ring.route_table(probes) if len(self.ring) else {}
+        )
+        measured = HashRing.remap_fraction(before, after)
+        larger = max(n_before, len(self.ring))
+        bound = 1.0 / larger if larger else 1.0
+        return measured, bound
+
+    def join_node(
+        self,
+        node_id: int | None = None,
+        *,
+        serve: ServeConfig | None = None,
+        warm: bool = True,
+    ) -> ChurnRecord:
+        """Splice a fresh node into the live fleet.
+
+        The joiner starts its virtual clock at the fleet's *now*, gets
+        an admission queue/breaker and an L2 link, and (with ``warm``)
+        pre-warms its L1 from the L2 for every resident arc key the
+        ring now routes to it — each fetch serialized over its
+        ``LinkSpec`` FIFO and charged, so warm-up costs modeled wire
+        time before the node serves its first request.
+        """
+        self._check_open()
+        if node_id is None:
+            node_id = (max(self.nodes) + 1) if self.nodes else 0
+        node_id = int(node_id)
+        if node_id in self.nodes:
+            raise RingMembershipError(node_id, "already in the fleet")
+        measured, bound = self._measure_remap(
+            lambda: self.ring.add_node(node_id)
+        )
+        self.admission.register_node(node_id)
+        if not self.l2.has_link(node_id):
+            self.l2.register_node(node_id)
+        # a rejoining id starts as a *new* machine: its old stats stay
+        # folded into the departed makespan floor
+        self._departed_stats.pop(node_id, None)
+        node = SolverService(serve or self.config.serve)
+        if self.clock > 0:
+            node.tick(self.clock)
+        if self.config.l2.write_through:
+            node.scheduler.on_install = self._publisher(node_id)
+        self.nodes[node_id] = node
+        self._inflight[node_id] = []
+        warmed = warmed_bytes = 0
+        warm_s = 0.0
+        if warm and len(self.l2):
+            owned = [
+                k for k in self.l2.keys()
+                if self.ring.route(k) == node_id
+            ]
+            start = node.clock
+            fetches = self.l2.warm_fetch(node_id, owned, start)
+            last_end = start
+            for fetch in fetches:
+                if not fetch.hit:
+                    continue
+                assert fetch.analysis is not None
+                node.scheduler.adopt_analysis(fetch.key, fetch.analysis)
+                if node.scheduler.cache.peek(fetch.key) is not None:
+                    warmed += 1
+                    warmed_bytes += int(fetch.analysis.nbytes)
+                last_end = max(last_end, fetch.end_s)
+            if last_end > node.clock:
+                node.tick(last_end - node.clock)
+            warm_s = last_end - start
+        record = ChurnRecord(
+            action="join", node_id=node_id, t_s=self.clock,
+            epoch=self.ring.epoch, remap_fraction=measured,
+            theoretical_bound=bound, warmed_keys=warmed,
+            warmed_bytes=warmed_bytes, warm_seconds=warm_s,
+        )
+        self.churn_log.append(record)
+        return record
+
+    def leave_node(
+        self, node_id: int, *, graceful: bool = True
+    ) -> ChurnRecord:
+        """Remove a live node.
+
+        Graceful: drain the leaver's inflight/queued work to completion
+        (responses stay bitwise-identical), publish its hot L1 arcs to
+        the L2, wait out its write-behind publishes, then take it off
+        the ring.  Crash (``graceful=False``): inflight work is
+        recorded as ``"lost"`` responses and a
+        :class:`NodeLostError` carrying the record is raised after the
+        removal; publishes still on the wire are rolled back and the
+        node's warm L1 is gone.
+        """
+        self._check_open()
+        node_id = int(node_id)
+        if node_id not in self.nodes:
+            raise RingMembershipError(node_id, "not in the fleet")
+        node = self.nodes[node_id]
+        drained = published = 0
+        lost_indices: list[int] = []
+        aborted = 0
+        if graceful:
+            drained = len(self._flush_node(node_id))
+            # publish hot arcs the store does not already hold, MRU
+            # first — the successor inherits them through L2 fetches
+            # instead of paying cold analyses
+            for key in reversed(node.scheduler.cache.keys()):
+                if key in self.l2:
+                    continue
+                entry = node.scheduler.cache.peek(key)
+                if entry is None:
+                    continue
+                self.l2.put(node_id, key, entry, node.clock)
+                published += 1
+            done = self.l2.flush_writes(node_id, node.clock)
+            if done > node.clock:
+                node.tick(done - node.clock)
+        else:
+            jobs = self._inflight[node_id]
+            lost_indices = [job.index for job in jobs]
+            for job in jobs:
+                self._responses[job.index] = FleetResponse(
+                    index=job.index, node_id=node_id, key=job.key,
+                    status="lost", rerouted=job.rerouted,
+                    epoch=job.epoch,
+                    error=(
+                        f"node {node_id} lost with request "
+                        f"{job.index} in flight"
+                    ),
+                )
+            self.admission.release(node_id, len(jobs))
+            self._inflight[node_id] = []
+            aborted = len(self.l2.abort_writes(node_id, node.clock))
+        measured, bound = self._measure_remap(
+            lambda: self.ring.remove_node(node_id)
+        )
+        final = node.stats()
+        for dev in final["devices"]:
+            self._departed_makespan = max(
+                self._departed_makespan, float(dev["busy_until"])
+            )
+        self._departed_makespan = max(
+            self._departed_makespan, float(final["cpu_busy_until"])
+        )
+        self._departed_stats[node_id] = final
+        self._clock = max(self._clock, node.clock)
+        self.admission.retire_node(node_id, self.clock)
+        del self.nodes[node_id]
+        del self._inflight[node_id]
+        node.shutdown(drain=graceful)
+        record = ChurnRecord(
+            action="leave" if graceful else "crash",
+            node_id=node_id, t_s=self.clock, epoch=self.ring.epoch,
+            remap_fraction=measured, theoretical_bound=bound,
+            drained=drained, published_keys=published,
+            lost=len(lost_indices), aborted_writes=aborted,
+        )
+        self.churn_log.append(record)
+        if lost_indices:
+            err = NodeLostError(node_id, lost_indices)
+            err.record = record
+            raise err
+        return record
+
+    def apply_churn(self, event: ChurnEvent) -> ChurnRecord:
+        """Apply one scripted event; crashes are absorbed into their
+        record (the ``lost`` responses are already booked), mirroring
+        how ``replay_fleet`` absorbs :class:`ShedError`."""
+        if event.action == "join":
+            return self.join_node(event.node_id)
+        try:
+            return self.leave_node(event.node_id, graceful=event.graceful)
+        except NodeLostError as exc:
+            assert exc.record is not None
+            return exc.record
+
     # -- introspection ---------------------------------------------------
     @property
     def makespan_seconds(self) -> float:
-        """Latest busy time across every device of every node (plus the
-        degraded CPU timelines)."""
-        latest = 0.0
-        for node in self.nodes:
+        """Latest busy time across every device of every node — live
+        and departed (plus the degraded CPU timelines)."""
+        latest = self._departed_makespan
+        for node in self.nodes.values():
             snap = node.stats()
             for d in snap["devices"]:
                 latest = max(latest, float(d["busy_until"]))
@@ -368,15 +606,23 @@ class Fleet:
 
     def stats(self) -> dict:
         """One nested dict: per-node service stats + ring + L2 +
-        admission."""
+        admission (+ final stats of departed nodes)."""
         return {
-            "num_nodes": self.config.num_nodes,
+            "num_nodes": len(self.nodes),
             "clock": self.clock,
             "makespan_seconds": self.makespan_seconds,
             "ring": self.ring.snapshot(),
             "l2": self.l2.stats(),
             "admission": self.admission.snapshot(),
-            "nodes": [node.stats() for node in self.nodes],
+            "nodes": {
+                node_id: node.stats()
+                for node_id, node in self.nodes.items()
+            },
+            "departed": {
+                node_id: snap
+                for node_id, snap in self._departed_stats.items()
+            },
+            "churn_events": len(self.churn_log),
         }
 
 

@@ -24,6 +24,15 @@ fetching node's device happens in
 :meth:`repro.serve.scheduler.BatchScheduler.adopt_analysis`, which keeps
 the math bitwise-identical (the analysis is pure pattern state — only
 the timeline changes).
+
+Because publishes are write-behind, topology churn (``docs/churn.md``)
+must resolve the race between a node leaving and its queued writes
+still on the wire: a graceful leave calls :meth:`L2Cache.flush_writes`
+(wait for every queued publish to land), a crash calls
+:meth:`L2Cache.abort_writes` (publishes not yet complete at the crash
+instant are rolled back out of the store — the warm state is genuinely
+lost).  Joins use :meth:`L2Cache.warm_fetch` to bulk-load the arc keys
+the newcomer now owns over its own link FIFO.
 """
 
 from __future__ import annotations
@@ -109,9 +118,89 @@ class L2Cache:
         self.config = config or L2Config()
         self.store = AnalysisCache(self.config.capacity_bytes)
         self.ledger = TimeLedger()
-        self._links = [
-            _NodeLink(spec=self.config.link) for _ in range(num_nodes)
-        ]
+        self._links: dict[int, _NodeLink] = {
+            i: _NodeLink(spec=self.config.link) for i in range(num_nodes)
+        }
+        #: per node: (key, completion time) of write-behind publishes
+        #: not yet flushed/aborted, in publication order
+        self._pending_writes: dict[int, list[tuple[str, float]]] = {
+            i: [] for i in range(num_nodes)
+        }
+
+    # -- churn ---------------------------------------------------------
+    def has_link(self, node_id: int) -> bool:
+        return int(node_id) in self._links
+
+    def register_node(self, node_id: int) -> None:
+        """Attach a link FIFO for a node joining the fleet."""
+        node_id = int(node_id)
+        if node_id in self._links:
+            raise ValueError(f"node {node_id} already has a link")
+        self._links[node_id] = _NodeLink(spec=self.config.link)
+        self._pending_writes[node_id] = []
+
+    def flush_writes(self, node_id: int, now: float) -> float:
+        """Wait out a leaver's queued write-behind publishes.
+
+        Returns the virtual time at which the last publish lands
+        (``now`` if nothing is on the wire); the graceful-leave path
+        stalls the node until then, so every analysis it published is
+        durably in the store before its link is torn down.
+        """
+        pending = self._pending_writes[self._require(node_id)]
+        done = max([float(now)] + [t for _, t in pending])
+        pending.clear()
+        return done
+
+    def abort_writes(self, node_id: int, now: float) -> list[str]:
+        """Roll back a crashed node's publishes still on the wire.
+
+        Any write whose completion time is after the crash instant
+        never finished crossing the link: its store entry is removed
+        (the origin's warm state is genuinely lost) unless some other
+        publish of the same key already completed.  Returns the
+        rolled-back keys, in publication order.
+        """
+        node_id = self._require(node_id)
+        completed = {
+            key
+            for owner, pending in self._pending_writes.items()
+            for key, done in pending
+            if owner != node_id and done <= float(now)
+        }
+        aborted: list[str] = []
+        for key, done in self._pending_writes[node_id]:
+            if done > float(now) and key not in completed:
+                if self.store.invalidate(key):
+                    aborted.append(key)
+                    self.ledger.count("l2_write_aborts")
+        self._pending_writes[node_id] = []
+        return aborted
+
+    def warm_fetch(self, node_id: int, keys: list[str],
+                   ready_s: float) -> list[L2Fetch]:
+        """Bulk-load ``keys`` over ``node_id``'s link FIFO (join path).
+
+        Each hit queues back-to-back on the single-channel link, so the
+        total warm-up wall time is the serialized wire time of every
+        resident analysis; misses cost nothing.  The caller adopts the
+        returned analyses into the joiner's L1 and stalls its clock to
+        the last fetch's :attr:`L2Fetch.end_s`.
+        """
+        fetches = []
+        ready = float(ready_s)
+        for key in keys:
+            fetch = self.fetch(node_id, key, ready)
+            if fetch.hit:
+                ready = fetch.end_s
+                self.ledger.count("l2_warm_fetches")
+            fetches.append(fetch)
+        return fetches
+
+    def _require(self, node_id: int) -> int:
+        if node_id not in self._links:
+            raise ValueError(f"node {node_id} has no L2 link")
+        return node_id
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -132,12 +221,12 @@ class L2Cache:
     def hit_rate(self) -> float:
         return self.store.hit_rate
 
+    def keys(self) -> list[str]:
+        """Resident keys, LRU -> MRU (deterministic; no counter touch)."""
+        return self.store.keys()
+
     def _link(self, node_id: int) -> _NodeLink:
-        if not (0 <= node_id < len(self._links)):
-            raise ValueError(
-                f"node {node_id} out of range [0, {len(self._links)})"
-            )
-        return self._links[node_id]
+        return self._links[self._require(node_id)]
 
     # ------------------------------------------------------------------
     def fetch(self, node_id: int, key: str, ready_s: float) -> L2Fetch:
@@ -171,6 +260,11 @@ class L2Cache:
         self.ledger.count("l2_writes")
         self.ledger.count("bytes_l2_write", int(analysis.nbytes))
         self.store.put(key, analysis)
+        # track the in-flight window so churn can flush or roll it back;
+        # writes that have already landed by this node's clock are done
+        pending = self._pending_writes[node_id]
+        pending[:] = [(k, t) for k, t in pending if t > float(ready_s)]
+        pending.append((key, start + dur))
         return start + dur
 
     def invalidate(self, key: str) -> bool:
@@ -191,6 +285,10 @@ class L2Cache:
                 "bytes": lk.bytes_total,
                 "busy_seconds": lk.busy_s,
             }
-            for i, lk in enumerate(self._links)
+            for i, lk in sorted(self._links.items())
         ]
+        out["pending_writes"] = {
+            i: len(pending)
+            for i, pending in sorted(self._pending_writes.items())
+        }
         return out

@@ -8,15 +8,25 @@ exception escapes the replay), and roll everything up into per-node
 balance, tier hit rates, shed rate and exact p50/p99 latency
 histograms.  ``repro fleet-bench`` and the ``fleet/serve`` perf
 scenario are both thin wrappers over :func:`run_fleet_load`.
+
+Churn-annotated replays (``docs/churn.md``): pass a
+:class:`~repro.fleet.churn.ChurnPlan` and :func:`replay_fleet` applies
+each membership event the moment the trace's arrival clock (cumulative
+gaps) passes its ``t`` — joins, graceful drains and crashes interleave
+deterministically with submissions.  :func:`synthesize_churn_trace`
+builds the (trace, plan) pair from fractional positions in one seeded
+call, byte-identical across reruns.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable, Sequence
 
-from ..serve.loadgen import TraceRequest
+from ..serve.loadgen import TraceRequest, synthesize_trace
 from ..serve.metrics import Histogram
 from .admission import ShedError
+from .churn import ChurnEvent, ChurnPlan
 from .fleet import Fleet, FleetConfig, FleetResponse
 
 __all__ = [
@@ -24,6 +34,8 @@ __all__ = [
     "replay_fleet",
     "run_fleet_load",
     "format_fleet_report",
+    "churn_plan_for_trace",
+    "synthesize_churn_trace",
 ]
 
 
@@ -32,14 +44,31 @@ def replay_fleet(
     trace: list[TraceRequest],
     *,
     flush_every: int = 8,
+    churn: ChurnPlan | None = None,
 ) -> list[FleetResponse]:
     """Feed ``trace`` through ``fleet``; sheds are absorbed (they are
-    already recorded as ``shed`` responses) and never re-raised."""
+    already recorded as ``shed`` responses) and never re-raised.
+
+    With a ``churn`` plan, each membership event fires as soon as the
+    arrival clock reaches its ``t`` — before the next submission — and
+    its :class:`~repro.fleet.churn.ChurnRecord` (in
+    ``fleet.churn_log``) is stamped with the trace position.  Crash
+    sheds are absorbed exactly like admission sheds: the ``lost``
+    responses are already recorded.
+    """
     if flush_every < 1:
         raise ValueError("flush_every must be >= 1")
-    for event in trace:
+    events = list(churn.events) if churn is not None else []
+    cursor = 0
+    arrival = 0.0
+    for index, event in enumerate(trace):
         if event.gap:
             fleet.tick(event.gap)
+            arrival += float(event.gap)
+        while cursor < len(events) and events[cursor].t <= arrival:
+            record = fleet.apply_churn(events[cursor])
+            record.applied_at_index = index
+            cursor += 1
         try:
             fleet.submit(event.a, event.b)
         except ShedError:
@@ -47,7 +76,73 @@ def replay_fleet(
         if fleet.pending >= flush_every:
             fleet.flush()
     fleet.flush()
+    # events scripted past the end of the trace still fire, in order
+    while cursor < len(events):
+        record = fleet.apply_churn(events[cursor])
+        record.applied_at_index = len(trace)
+        cursor += 1
     return fleet.responses()
+
+
+def churn_plan_for_trace(
+    trace: list[TraceRequest],
+    specs: Iterable[Sequence],
+) -> ChurnPlan:
+    """Pin churn events to fractional positions of a trace's arrival
+    window.
+
+    ``specs`` entries are ``(action, node_id, at_fraction)`` or
+    ``(action, node_id, at_fraction, graceful)``; ``at_fraction`` in
+    ``[0, 1]`` scales against the trace's total arrival time (sum of
+    gaps), so the same spec tuple lands at the same relative point of
+    any synthesized trace.  Purely arithmetic — byte-identical for a
+    byte-identical trace.
+    """
+    window = sum(float(ev.gap) for ev in trace)
+    events = []
+    for spec in specs:
+        action, node_id, frac = spec[0], spec[1], float(spec[2])
+        graceful = bool(spec[3]) if len(spec) > 3 else True
+        if not (0.0 <= frac <= 1.0):
+            raise ValueError(f"at_fraction must be in [0, 1], got {frac}")
+        events.append(
+            ChurnEvent(
+                t=frac * window, action=str(action),
+                node_id=int(node_id), graceful=graceful,
+            )
+        )
+    return ChurnPlan.ordered(events)
+
+
+def synthesize_churn_trace(
+    *,
+    churn: Iterable[Sequence],
+    num_patterns: int = 4,
+    num_requests: int = 64,
+    n: int = 96,
+    seed: int = 0,
+    arrival_gap: float = 2e-4,
+    **trace_kw,
+) -> tuple[list[TraceRequest], ChurnPlan]:
+    """One-call churn-annotated workload: a seeded trace plus the plan
+    pinned to it.
+
+    The trace path is exactly :func:`~repro.serve.loadgen.
+    synthesize_trace` (the uniform no-churn path is untouched — a
+    regression test locks its bytes); the plan is derived from the
+    trace's own arrival window, so the pair replays byte-identically
+    for a fixed (seed, churn) input.
+    """
+    if arrival_gap <= 0:
+        raise ValueError(
+            "churn-annotated traces need arrival_gap > 0 — the plan "
+            "fires on the arrival clock"
+        )
+    trace = synthesize_trace(
+        num_patterns=num_patterns, num_requests=num_requests, n=n,
+        seed=seed, arrival_gap=arrival_gap, **trace_kw,
+    )
+    return trace, churn_plan_for_trace(trace, churn)
 
 
 @dataclass
@@ -70,11 +165,15 @@ class FleetReport:
     makespan_seconds: float
     latency_p50: float
     latency_p99: float
-    #: admitted requests per node, node order
-    per_node: list[int] = field(default_factory=list)
+    #: admitted requests in flight on a crashed node (churn replays)
+    lost: int = 0
+    #: admitted requests per node id (live or since-departed)
+    per_node: dict[int, int] = field(default_factory=dict)
     responses: list[FleetResponse] = field(
         repr=False, default_factory=list
     )
+    #: applied membership events, in order (churn replays)
+    churn_records: list = field(repr=False, default_factory=list)
     #: full :meth:`Fleet.stats` snapshot at shutdown
     stats: dict = field(repr=False, default_factory=dict)
 
@@ -113,7 +212,7 @@ class FleetReport:
     def balance(self) -> float:
         """Max-over-mean admitted requests per node (1.0 = perfectly
         even; grows with routing skew)."""
-        loaded = [c for c in self.per_node]
+        loaded = list(self.per_node.values())
         if not loaded or not self.admitted:
             return 1.0
         mean = sum(loaded) / len(loaded)
@@ -129,6 +228,7 @@ class FleetReport:
             "admitted": int(self.admitted),
             "completed": int(self.completed),
             "shed": int(self.shed),
+            "lost": int(self.lost),
             "errors": int(self.errors),
             "timeouts": int(self.timeouts),
             "rerouted": int(self.rerouted),
@@ -137,6 +237,7 @@ class FleetReport:
             "served_cold": int(self.served_cold),
             "l2_hits": int(self.l2_hits),
             "l2_misses": int(self.l2_misses),
+            "churn_events": len(self.churn_records),
         }
         timings = {
             "makespan_seconds": float(self.makespan_seconds),
@@ -149,7 +250,30 @@ class FleetReport:
             "shed_rate": float(self.shed_rate),
             "balance": float(self.balance),
         }
-        return {"counters": counters, "timings": timings, "labels": {}}
+        labels: dict[str, str] = {}
+        admission = self.stats.get("admission", {})
+        breakers = admission.get("breakers", {})
+        trips = 0
+        last_transition = 0.0
+        for node_id in sorted(breakers):
+            snap = breakers[node_id]
+            labels[f"breaker_node{node_id}"] = str(snap["state"])
+            trips += int(snap["trips"])
+            last_transition = max(
+                last_transition, float(snap["last_transition_s"])
+            )
+        retired = admission.get("retired", {})
+        for node_id in sorted(retired):
+            snap = retired[node_id]["breaker"]
+            labels[f"breaker_node{node_id}"] = "retired"
+            trips += int(snap["trips"])
+            last_transition = max(
+                last_transition, float(snap["last_transition_s"])
+            )
+        counters["breaker_trips"] = trips
+        counters["nodes_retired"] = len(retired)
+        timings["breaker_last_transition_s"] = last_transition
+        return {"counters": counters, "timings": timings, "labels": labels}
 
 
 def run_fleet_load(
@@ -158,25 +282,32 @@ def run_fleet_load(
     *,
     flush_every: int = 8,
     node_overrides: dict | None = None,
+    churn: ChurnPlan | None = None,
 ) -> FleetReport:
     """Replay ``trace`` through a fresh fleet and build a report."""
     cfg = config or FleetConfig()
     fleet = Fleet(cfg, node_overrides=node_overrides)
-    responses = replay_fleet(fleet, trace, flush_every=flush_every)
+    responses = replay_fleet(
+        fleet, trace, flush_every=flush_every, churn=churn
+    )
     stats = fleet.stats()
+    churn_records = list(fleet.churn_log)
     fleet.shutdown()
 
     latency = Histogram()
     served = {"l1": 0, "l2": 0, "cold": 0}
-    shed = errors = timeouts = completed = rerouted = 0
-    per_node = [0] * cfg.num_nodes
+    shed = lost = errors = timeouts = completed = rerouted = 0
+    per_node: dict[int, int] = {i: 0 for i in range(cfg.num_nodes)}
     for r in responses:
         if r.shed:
             shed += 1
             continue
-        per_node[r.node_id] += 1
+        per_node[r.node_id] = per_node.get(r.node_id, 0) + 1
         if r.rerouted:
             rerouted += 1
+        if r.lost:
+            lost += 1
+            continue
         if r.served in served:
             served[r.served] += 1
         if r.status == "ok":
@@ -188,11 +319,12 @@ def run_fleet_load(
             errors += 1
     l2_stats = stats["l2"]
     return FleetReport(
-        num_nodes=cfg.num_nodes,
+        num_nodes=int(stats["num_nodes"]),
         requests=len(responses),
         admitted=len(responses) - shed,
         completed=completed,
         shed=shed,
+        lost=lost,
         errors=errors,
         timeouts=timeouts,
         rerouted=rerouted,
@@ -206,12 +338,15 @@ def run_fleet_load(
         latency_p99=latency.p99,
         per_node=per_node,
         responses=responses,
+        churn_records=churn_records,
         stats=stats,
     )
 
 
 def format_fleet_report(report: FleetReport) -> str:
-    nodes = " ".join(str(c) for c in report.per_node)
+    nodes = " ".join(
+        f"{nid}:{count}" for nid, count in sorted(report.per_node.items())
+    )
     lines = [
         f"nodes             {report.num_nodes}",
         f"requests          {report.requests}",
@@ -219,6 +354,7 @@ def format_fleet_report(report: FleetReport) -> str:
         f"completed         {report.completed}",
         f"shed              {report.shed} "
         f"(rate {report.shed_rate:.3f})",
+        f"lost              {report.lost}",
         f"errors/timeouts   {report.errors}/{report.timeouts}",
         f"rerouted          {report.rerouted}",
         f"served l1/l2/cold {report.served_l1}/{report.served_l2}"

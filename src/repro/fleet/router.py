@@ -24,14 +24,29 @@ from __future__ import annotations
 
 import bisect
 import hashlib
+from typing import Iterable
 
-__all__ = ["HashRing"]
+__all__ = ["HashRing", "RingMembershipError"]
 
 
 def _point(data: str) -> int:
     """64-bit ring position of a stable byte string."""
     digest = hashlib.blake2b(data.encode("utf-8"), digest_size=8)
     return int.from_bytes(digest.digest(), "big")
+
+
+class RingMembershipError(ValueError):
+    """Adding a member twice, or removing a non-member.
+
+    A plain ``ValueError`` subclass so existing ``except ValueError``
+    call sites keep working; carries the offending node id so churn
+    tooling can report *which* node a bad plan referenced.
+    """
+
+    def __init__(self, node_id: int, reason: str) -> None:
+        super().__init__(f"node {node_id} {reason}")
+        self.node_id = int(node_id)
+        self.reason = reason
 
 
 class HashRing:
@@ -45,6 +60,9 @@ class HashRing:
         #: sorted (ring position, node id) pairs
         self._ring: list[tuple[int, int]] = []
         self._members: set[int] = set()
+        #: bumped on every membership mutation; lets the fleet stamp
+        #: responses and cache owned-key tables per topology version
+        self.epoch = 0
         for node in nodes:
             self.add_node(node)
 
@@ -70,18 +88,20 @@ class HashRing:
         """Join ``node_id``; remaps only the arcs it now owns."""
         node_id = int(node_id)
         if node_id in self._members:
-            raise ValueError(f"node {node_id} already on the ring")
+            raise RingMembershipError(node_id, "already on the ring")
         self._members.add(node_id)
         for pt in self._points_of(node_id):
             bisect.insort(self._ring, pt)
+        self.epoch += 1
 
     def remove_node(self, node_id: int) -> None:
         """Leave the ring; only this node's keys move (to successors)."""
         node_id = int(node_id)
         if node_id not in self._members:
-            raise ValueError(f"node {node_id} not on the ring")
+            raise RingMembershipError(node_id, "not on the ring")
         self._members.discard(node_id)
         self._ring = [pt for pt in self._ring if pt[1] != node_id]
+        self.epoch += 1
 
     # -- routing -------------------------------------------------------
     def route(self, key: str) -> int:
@@ -119,6 +139,38 @@ class HashRing:
                     break
         return order
 
+    # -- churn accounting ----------------------------------------------
+    def route_table(self, keys: Iterable[str]) -> dict[str, int]:
+        """``key -> home node`` for a key population.
+
+        Capture one before a membership mutation and diff against a
+        fresh one after it: the changed entries are exactly the keys
+        the mutation remapped (the new/departing member's arcs).
+        """
+        return {key: self.route(key) for key in keys}
+
+    @staticmethod
+    def remap_fraction(before: dict[str, int],
+                       after: dict[str, int]) -> float:
+        """Fraction of ``before``'s keys whose home changed in ``after``."""
+        if not before:
+            return 0.0
+        moved = sum(1 for k, node in before.items() if after.get(k) != node)
+        return moved / len(before)
+
+    def theoretical_remap_bound(self) -> float:
+        """Expected remap fraction for one-node churn: ``1/len(ring)``.
+
+        Call on the *larger* ring — after a join, before a leave — so
+        the denominator counts the churning node.  The consistent-hash
+        guarantee is that only the churning member's arcs move; with
+        ``vnodes`` points per member its expected share is ``1/N`` with
+        relative spread ``~1/sqrt(vnodes)``.
+        """
+        if not self._members:
+            raise ValueError("bound undefined on an empty ring")
+        return 1.0 / len(self._members)
+
     # -- introspection -------------------------------------------------
     def share_of(self, keys: list[str]) -> dict[int, int]:
         """Keys-per-node histogram for a key sample (balance checks)."""
@@ -132,4 +184,5 @@ class HashRing:
             "nodes": list(self.nodes),
             "vnodes": self.vnodes,
             "points": len(self._ring),
+            "epoch": self.epoch,
         }

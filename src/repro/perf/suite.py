@@ -23,6 +23,10 @@ Four scenario families, each seeded and therefore bit-deterministic:
 * ``fleet/serve`` — the cluster tier: a zipf trace over a 4-node fleet
   with a deliberately tight L1 (routing balance, L1/L2 tier hit rates,
   shed count, exact latency percentiles).
+* ``fleet/churn`` — the topology-churn drill: a replay through a 4-node
+  fleet while a node joins (L2-backed warm-up), one drains out
+  gracefully and one crashes (remap fractions vs the ring bound,
+  bitwise-identity check, p99 recovery ratio, rerun determinism).
 * ``faults/drill`` — the four-scenario recovery-ladder drill (fault and
   recovery-action counts, outcomes, overheads).
 
@@ -276,6 +280,13 @@ def _fleet_scenario(smoke: bool) -> ScenarioRecord:
     return ScenarioRecord.from_parts("fleet/serve", report.perf_record())
 
 
+def _churn_scenario(smoke: bool) -> ScenarioRecord:
+    from ..bench.churn import run_churn_drill
+
+    report = run_churn_drill(smoke=smoke, seed=0)
+    return ScenarioRecord.from_parts("fleet/churn", report.perf_record())
+
+
 def _faults_scenario(smoke: bool) -> ScenarioRecord:
     from ..bench.fault_drill import run_fault_drill
 
@@ -299,6 +310,7 @@ def _scenarios(smoke: bool) -> dict[str, Callable[[], ScenarioRecord]]:
     runners["multigpu/e2e"] = partial(_multigpu_e2e_scenario, smoke)
     runners["serve/replay"] = partial(_serve_scenario, smoke)
     runners["fleet/serve"] = partial(_fleet_scenario, smoke)
+    runners["fleet/churn"] = partial(_churn_scenario, smoke)
     runners["faults/drill"] = partial(_faults_scenario, smoke)
     return runners
 

@@ -58,6 +58,8 @@ class CircuitBreaker:
     trials: int = 0
     trips: int = 0
     recoveries: int = 0
+    #: virtual time of the most recent state change (0.0 if never moved)
+    last_transition_s: float = 0.0
 
     def allow(self, now: float) -> bool:
         """May a batch be routed to this device at virtual time ``now``?
@@ -70,6 +72,7 @@ class CircuitBreaker:
             if now >= self.open_until:
                 self.state = HALF_OPEN
                 self.trials = 0
+                self.last_transition_s = now
             else:
                 return False
         if self.state == HALF_OPEN:
@@ -82,6 +85,8 @@ class CircuitBreaker:
     def record_success(self, now: float) -> None:
         if self.state == HALF_OPEN:
             self.recoveries += 1
+        if self.state != CLOSED:
+            self.last_transition_s = now
         self.state = CLOSED
         self.consecutive_failures = 0
         self.trials = 0
@@ -93,6 +98,7 @@ class CircuitBreaker:
         ):
             if self.state != OPEN:
                 self.trips += 1
+                self.last_transition_s = now
             self.state = OPEN
             self.open_until = now + self.config.cooldown_s
             self.trials = 0
@@ -104,4 +110,5 @@ class CircuitBreaker:
             "open_until": self.open_until,
             "trips": self.trips,
             "recoveries": self.recoveries,
+            "last_transition_s": self.last_transition_s,
         }

@@ -104,10 +104,10 @@ def test_admission_bounded_queue_sheds():
         adm.admit(0)
     assert exc.value.reason == "queue_full"
     assert exc.value.node_id == 0
-    assert adm.sheds == 1 and adm.shed_by_node == [1, 0]
+    assert adm.sheds == 1 and adm.shed_by_node == {0: 1, 1: 0}
     adm.release(0, 2)
     adm.admit(0)  # slots returned after a flush
-    assert adm.pending == [1, 0]
+    assert adm.pending == {0: 1, 1: 0}
 
 
 def test_admission_select_walks_preference_on_open_breaker():

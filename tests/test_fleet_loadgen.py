@@ -137,7 +137,7 @@ def test_fleet_report_zero_guards_and_formatting():
         num_nodes=2, requests=0, admitted=0, completed=0, shed=0,
         errors=0, timeouts=0, rerouted=0, served_l1=0, served_l2=0,
         served_cold=0, l2_hits=0, l2_misses=0, makespan_seconds=0.0,
-        latency_p50=0.0, latency_p99=0.0, per_node=[0, 0],
+        latency_p50=0.0, latency_p99=0.0, per_node={0: 0, 1: 0},
     )
     assert report.shed_rate == 0.0
     assert report.l1_hit_rate == 0.0
@@ -160,7 +160,7 @@ def test_run_fleet_load_end_to_end_report():
     assert report.requests == 18
     assert report.admitted == 18 and report.shed == 0
     assert report.completed == 18
-    assert sum(report.per_node) == 18
+    assert sum(report.per_node.values()) == 18
     assert report.warm_rate > 0.5  # repeats hit a warm tier
     assert report.makespan_seconds > 0
     assert "fleet makespan" in format_fleet_report(report)
