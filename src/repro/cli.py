@@ -288,6 +288,31 @@ def cmd_churn_drill(args) -> int:
 def cmd_perf(args) -> int:
     from pathlib import Path
 
+    if args.perf_command == "wallclock":
+        from .perf.wallclock import run_under_budget
+
+        command = list(args.command)
+        if command and command[0] == "--":
+            command = command[1:]
+        if not command:
+            print("perf wallclock: no command given (pass it after --)",
+                  file=sys.stderr)
+            return 2
+        code, report = run_under_budget(
+            args.label, command,
+            budget_path=args.budget, out_path=args.out,
+        )
+        budget = report.budget_seconds
+        if budget is None:
+            print(f"wallclock [{args.label}]: {report.elapsed_seconds:.1f}s "
+                  f"but no budget committed in {args.budget} — add one",
+                  file=sys.stderr)
+        else:
+            verdict = "PASS" if code == 0 else "FAIL"
+            print(f"wallclock [{args.label}]: {report.elapsed_seconds:.1f}s "
+                  f"vs budget {budget:.1f}s -> {verdict}")
+        return code
+
     from .perf import (
         DEFAULT_BASELINE,
         PerfSnapshot,
@@ -583,6 +608,22 @@ def build_parser() -> argparse.ArgumentParser:
                     help="record a smoke-mode baseline (the CI gate mode)")
     pp.add_argument("--baseline", default=default_baseline,
                     help="baseline snapshot path to rewrite")
+    pp.set_defaults(fn=cmd_perf)
+
+    pp = perf_sub.add_parser(
+        "wallclock",
+        help="run a command under a committed wall-clock budget "
+             "(exit 1 over budget, 2 if no budget entry)",
+    )
+    pp.add_argument("--label", required=True,
+                    help="budget entry to enforce (e.g. tier1)")
+    pp.add_argument("--budget",
+                    default="benchmarks/baselines/ci_budget.json",
+                    help="committed budget file")
+    pp.add_argument("--out", help="write the JSON report here "
+                                  "(the CI timing artifact)")
+    pp.add_argument("command", nargs=argparse.REMAINDER,
+                    help="command to run and time (after --)")
     pp.set_defaults(fn=cmd_perf)
     return p
 

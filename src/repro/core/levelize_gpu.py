@@ -57,24 +57,32 @@ def levelize_gpu_dynamic(
     gpu: GPU, graph: DependencyGraph, config: SolverConfig | None = None
 ) -> LevelizeResult:
     """Algorithm 5: device-resident Kahn's with dynamic parallelism."""
-    return _levelize_gpu(gpu, graph, from_device=True)
+    return _levelize_gpu(
+        gpu, graph, from_device=True, slow=_slow_of(config)
+    )
 
 
 def levelize_gpu_hostlaunch(
     gpu: GPU, graph: DependencyGraph, config: SolverConfig | None = None
 ) -> LevelizeResult:
     """Same waves, host-launched kernels + per-wave host sync ([37] style)."""
-    return _levelize_gpu(gpu, graph, from_device=False)
+    return _levelize_gpu(
+        gpu, graph, from_device=False, slow=_slow_of(config)
+    )
 
 
-def _levelize_gpu(gpu: GPU, graph: DependencyGraph, *, from_device: bool
-                  ) -> LevelizeResult:
+def _slow_of(config: SolverConfig | None) -> bool:
+    return False if config is None else config.slow_host_loops
+
+
+def _levelize_gpu(gpu: GPU, graph: DependencyGraph, *, from_device: bool,
+                  slow: bool = False) -> LevelizeResult:
     ledger = gpu.ledger
     t0 = ledger.total_seconds
     l0 = ledger.get_count("kernel_launches")
     c0 = ledger.get_count("child_kernel_launches")
     with ledger.phase("levelize"):
-        schedule = kahn_levels(graph)
+        schedule = kahn_levels(graph, slow=slow)
         waves = _wave_workloads(graph, schedule)
         n, m = graph.n, graph.num_edges
 
@@ -106,13 +114,13 @@ def _levelize_gpu(gpu: GPU, graph: DependencyGraph, *, from_device: bool
 
 
 def levelize_cpu_serial(
-    gpu: GPU, graph: DependencyGraph
+    gpu: GPU, graph: DependencyGraph, config: SolverConfig | None = None
 ) -> LevelizeResult:
     """Sequential CPU levelization (the pre-paper status quo)."""
     ledger = gpu.ledger
     t0 = ledger.total_seconds
     with ledger.phase("levelize"):
-        schedule = kahn_levels(graph)
+        schedule = kahn_levels(graph, slow=_slow_of(config))
         ledger.charge(
             gpu.cost.cpu_serial_seconds(graph.n + graph.num_edges),
             "cpu_compute",

@@ -256,7 +256,7 @@ class EndToEndLU:
 
             lev_graph, _ = sparsify_for_levels(graph)
         if not cfg.levelize_on_gpu:
-            lev = levelize_cpu_serial(gpu, lev_graph)
+            lev = levelize_cpu_serial(gpu, lev_graph, cfg)
         elif cfg.levelize_dynamic_parallelism:
             lev = levelize_gpu_dynamic(gpu, lev_graph, cfg)
         else:

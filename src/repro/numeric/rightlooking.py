@@ -57,6 +57,7 @@ def factorize_in_place(
     pivot_tolerance: float = 0.0,
     count_search_steps: bool = False,
     pivot_perturbation: float = 0.0,
+    slow: bool = False,
 ) -> NumericStats:
     """Run Algorithm 2 in place on the filled CSC matrix ``As``.
 
@@ -86,7 +87,27 @@ def factorize_in_place(
         :attr:`NumericStats.perturbed_columns`; the caller is expected to
         follow up with iterative refinement.  A *structurally* missing
         pivot still raises: no perturbation fixes an absent diagonal.
+    slow:
+        When true, run the original scalar per-column/per-update loop
+        instead of the vectorized per-level kernel
+        (:func:`repro.numeric.vectorized.factorize_in_place_fast`).
+        Both produce bitwise-identical factors, identical
+        :class:`NumericStats` (including ``per_level`` and
+        ``perturbed_columns``) and identical error behaviour — the
+        scalar path is kept as the readable oracle the equivalence
+        tests compare against.
     """
+    if not slow:
+        from .vectorized import factorize_in_place_fast
+
+        return factorize_in_place_fast(
+            As,
+            row_adjacency,
+            schedule,
+            pivot_tolerance=pivot_tolerance,
+            count_search_steps=count_search_steps,
+            pivot_perturbation=pivot_perturbation,
+        )
     indptr, indices, data = As.indptr, As.indices, As.data
     stats = NumericStats()
 

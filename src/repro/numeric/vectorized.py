@@ -1,0 +1,382 @@
+"""Vectorized per-level right-looking numeric kernel (fast host path).
+
+Semantically identical to the scalar loop in
+:mod:`repro.numeric.rightlooking` — same factors *bitwise*, same
+:class:`~repro.numeric.rightlooking.NumericStats` (including the
+``per_level`` tuples the GPU executor charges kernels from, and the
+``perturbed_columns`` recovery record), same error behaviour — but the
+per-column / per-sub-column Python loops are replaced by bulk NumPy
+operations, in the spirit of the structure-aware blocking line of work:
+operate on structure in blocks, not element at a time.
+
+The key observation is that every *position* the scalar loop computes —
+diagonal offsets, sub-diagonal slices, the ``(j, k)`` sub-column pairs
+and the flat target of every single update — depends only on the filled
+pattern, never on the values.  So the kernel resolves them up front, in
+level-batches bounded by :data:`_MAX_BATCH_UPDATES`, with one ragged
+gather (:func:`concat_ranges`) plus one batched binary search
+(``np.searchsorted``) against the globally sorted entry keys
+``col * n + row`` (the sorted-CSC property Algorithm 6 relies on).
+
+That structure-only *plan* is cached on the schedule object: repeated
+refactorizations of the same pattern (the serving tier's bread and
+butter, and how real solvers amortize analysis across solves) skip the
+precompute entirely and run only the value passes:
+
+* **pivot stage** — gather the level's diagonals in one shot,
+  check/perturb in level order, and raise on the first failing column
+  *after* replaying the scalar path's partial mutations for the columns
+  that precede it;
+* **scale stage** — one gather of the precomputed sub-diagonal stream,
+  one elementwise division;
+* **update stage** — gather multipliers and ``U`` entries through the
+  precomputed position stream and apply with ``np.subtract.at`` — which
+  accumulates repeated targets in array order, i.e. exactly the scalar
+  loop's update order, so floating-point results match bitwise.
+
+Bitwise equivalence relies on the schedule carrying GLU 3.0's *full*
+dependency set (``include_l_dependencies=True``, the library default):
+it guarantees no same-level column reads an entry another same-level
+column writes, so gathering multipliers level-at-a-time is exactly the
+scalar interleaving.  The same property is what makes the level a valid
+parallel unit on a real device.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SingularMatrixError
+from ..graph import LevelSchedule
+from ..sparse import CSCMatrix, CSRMatrix
+from ..sparse.ranges import concat_ranges
+
+__all__ = ["factorize_in_place_fast"]
+
+#: cap on the flattened update-position stream precomputed per level
+#: batch; levels are processed strictly in order within and across
+#: batches, so batching never reorders the floating-point update stream.
+_MAX_BATCH_UPDATES = 1 << 22
+
+
+def _diag_positions(indices: np.ndarray, col_ids: np.ndarray,
+                    n: int) -> np.ndarray:
+    """Flat position of each column's diagonal entry (-1 when absent)."""
+    hits = np.flatnonzero(indices == col_ids)
+    diag_pos = np.full(n, -1, dtype=np.int64)
+    diag_pos[col_ids[hits]] = hits
+    return diag_pos
+
+
+class _BatchPlan:
+    """Precomputed position streams for one greedy level-batch."""
+
+    __slots__ = (
+        "cols_cat", "col_off", "pair_off", "exp_off", "scale_off",
+        "s_flat", "l_flat", "pos_ujk", "pos_tgt", "pair_rows", "sc_cnt",
+        "pair_search",
+    )
+
+    cols_cat: np.ndarray
+    col_off: np.ndarray
+    pair_off: np.ndarray
+    exp_off: np.ndarray
+    scale_off: np.ndarray
+    s_flat: np.ndarray
+    l_flat: np.ndarray
+    pos_ujk: np.ndarray
+    pos_tgt: np.ndarray
+    pair_rows: np.ndarray
+    sc_cnt: np.ndarray
+    pair_search: np.ndarray | None
+
+
+class _NumericPlan:
+    """Everything about a factorization that values cannot change.
+
+    Built once per (pattern, schedule, ``count_search_steps``) and
+    cached on the schedule object, so refactorizing the same structure
+    with new values pays only the value passes.  The kernel's contract
+    is that ``As`` is the sorted CSC of the filled pattern the schedule
+    was levelized from and ``row_adjacency`` its CSR — a schedule is
+    born from exactly one pattern, so caching on it is sound, and
+    ``matches`` only cross-checks the cheap structural invariants
+    (dimension and entry counts) to catch contract violations.  Array
+    *identity* is deliberately not used: the refactorization path
+    re-wraps the shared pattern arrays in fresh view objects each pass.
+    """
+
+    __slots__ = (
+        "as_nnz", "ra_nnz",
+        "count_search_steps", "n", "diag_pos", "batches",
+    )
+
+    as_nnz: int
+    ra_nnz: int
+    count_search_steps: bool
+    n: int
+    diag_pos: np.ndarray
+    batches: list[_BatchPlan]
+
+    def matches(self, As: CSCMatrix, row_adjacency: CSRMatrix) -> bool:
+        return (
+            self.n == As.n_cols
+            and self.n == row_adjacency.n_rows
+            and self.as_nnz == As.nnz
+            and self.ra_nnz == row_adjacency.nnz
+        )
+
+
+def _build_plan(
+    As: CSCMatrix,
+    row_adjacency: CSRMatrix,
+    schedule: LevelSchedule,
+    count_search_steps: bool,
+) -> _NumericPlan:
+    indptr = As.indptr.astype(np.int64, copy=False)
+    indices = As.indices
+    n = As.n_cols
+
+    col_ids = As.col_ids_of_entries().astype(np.int64, copy=False)
+    # CSC row indices are sorted within each column and columns are laid
+    # out in order, so these keys are globally sorted: one searchsorted
+    # resolves any batch of (row, col) probes.
+    keys = col_ids * n + indices
+    diag_pos = _diag_positions(indices, col_ids, n)
+    col_nnz = np.diff(indptr)
+    # sub-diagonal slice of each column: (diag_pos + 1 .. column end)
+    sub_start = diag_pos + 1
+    sub_len = np.where(diag_pos >= 0, indptr[1:] - sub_start, 0)
+
+    # sub-columns of j = entries of filled row j with column id > j; with
+    # sorted rows that is the suffix after the diagonal, found by one
+    # batched binary search over the row-major keys.
+    r_indptr = row_adjacency.indptr.astype(np.int64, copy=False)
+    r_indices = row_adjacency.indices
+    r_keys = (
+        row_adjacency.row_ids_of_entries().astype(np.int64, copy=False) * n
+        + r_indices
+    )
+    ar = np.arange(n, dtype=np.int64)
+    sc_start = np.searchsorted(r_keys, ar * n + ar, side="right")
+    sc_len = r_indptr[1:] - sc_start
+
+    if count_search_steps:
+        probe_depth = np.maximum(
+            1, np.ceil(np.log2(np.maximum(2, col_nnz))).astype(np.int64)
+        )
+
+    levels = [np.asarray(lv, dtype=np.int64) for lv in schedule.levels]
+    # flattened update count contributed by column j: one row update per
+    # (sub-column pair, sub-diagonal row) combination
+    exp_per_level = [int((sc_len[lv] * sub_len[lv]).sum()) for lv in levels]
+
+    plan = _NumericPlan()
+    plan.as_nnz = As.nnz
+    plan.ra_nnz = row_adjacency.nnz
+    plan.count_search_steps = count_search_steps
+    plan.n = n
+    plan.diag_pos = diag_pos
+    plan.batches = []
+
+    start = 0
+    while start < len(levels):
+        # greedy level batch under the position-stream cap (always at
+        # least one level, so a single huge level still goes through)
+        stop = start + 1
+        batch_exp = exp_per_level[start]
+        while (
+            stop < len(levels)
+            and batch_exp + exp_per_level[stop] <= _MAX_BATCH_UPDATES
+        ):
+            batch_exp += exp_per_level[stop]
+            stop += 1
+
+        b = _BatchPlan()
+        b.cols_cat = cols_cat = np.concatenate(levels[start:stop])
+        b.col_off = np.concatenate(
+            [
+                np.zeros(1, dtype=np.int64),
+                np.cumsum([len(lv) for lv in levels[start:stop]]),
+            ]
+        ).astype(np.int64)
+        pair_cnt = sc_len[cols_cat]
+        b.pair_off = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(pair_cnt)]
+        )
+        pair_j = np.repeat(cols_cat, pair_cnt)
+        pair_k = r_indices[
+            concat_ranges(sc_start[cols_cat], pair_cnt)
+        ].astype(np.int64, copy=False)
+        if len(pair_k):
+            probe = pair_k * n + pair_j
+            pos_ujk = np.searchsorted(keys, probe)
+            assert np.array_equal(
+                keys[np.minimum(pos_ujk, len(keys) - 1)], probe
+            ), (
+                "symbolic pattern is missing a U entry — filled pattern "
+                "is inconsistent"
+            )
+        else:
+            pos_ujk = np.empty(0, dtype=np.int64)
+        b.pos_ujk = pos_ujk
+        b.pair_rows = pair_rows = sub_len[pair_j]
+        b.exp_off = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(pair_rows)]
+        )
+        b.l_flat = l_flat = concat_ranges(sub_start[pair_j], pair_rows)
+        if len(l_flat):
+            tgt = np.repeat(pair_k, pair_rows) * n + indices[l_flat]
+            pos_tgt = np.searchsorted(keys, tgt)
+            assert np.array_equal(
+                keys[np.minimum(pos_tgt, len(keys) - 1)], tgt
+            ), "fill positions missing — filled pattern is inconsistent"
+        else:
+            pos_tgt = np.empty(0, dtype=np.int64)
+        b.pos_tgt = pos_tgt
+        b.sc_cnt = sc_cnt = sub_len[cols_cat]
+        b.scale_off = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(sc_cnt)]
+        )
+        b.s_flat = concat_ranges(sub_start[cols_cat], sc_cnt)
+        if count_search_steps:
+            b.pair_search = np.concatenate(
+                [
+                    np.zeros(1, dtype=np.int64),
+                    np.cumsum(pair_rows * probe_depth[pair_k]),
+                ]
+            )
+        else:
+            b.pair_search = None
+        plan.batches.append(b)
+        start = stop
+    return plan
+
+
+def _plan_for(
+    As: CSCMatrix,
+    row_adjacency: CSRMatrix,
+    schedule: LevelSchedule,
+    count_search_steps: bool,
+) -> _NumericPlan:
+    cache = getattr(schedule, "_numeric_plans", None)
+    if cache is None:
+        cache = {}
+        try:
+            schedule._numeric_plans = cache  # type: ignore[attr-defined]
+        except AttributeError:
+            pass  # schedule forbids attributes: build every time
+    plan = cache.get(count_search_steps)
+    if plan is not None and plan.matches(As, row_adjacency):
+        return plan
+    plan = _build_plan(As, row_adjacency, schedule, count_search_steps)
+    cache[count_search_steps] = plan
+    return plan
+
+
+def factorize_in_place_fast(
+    As: CSCMatrix,
+    row_adjacency: CSRMatrix,
+    schedule: LevelSchedule,
+    *,
+    pivot_tolerance: float = 0.0,
+    count_search_steps: bool = False,
+    pivot_perturbation: float = 0.0,
+):
+    """Vectorized twin of :func:`repro.numeric.factorize_in_place`.
+
+    See that function for the parameter contract; this one only changes
+    how fast the identical result is produced.
+    """
+    from .rightlooking import NumericStats
+
+    data = As.data
+    stats = NumericStats()
+    plan = _plan_for(As, row_adjacency, schedule, count_search_steps)
+    diag_pos = plan.diag_pos
+
+    def _pivot_stage(cols: np.ndarray) -> tuple[int, int, float]:
+        """Perturb/validate pivots of ``cols`` in order.
+
+        Returns ``(prefix_len, fail_column, fail_pivot)`` where the
+        prefix covers the whole level on success; on failure it counts
+        the columns the scalar path would have completed before raising
+        for ``fail_column``.
+        """
+        pos = diag_pos[cols]
+        missing = pos < 0
+        vals = (
+            data[np.maximum(pos, 0)]
+            if len(data)
+            else np.zeros(len(cols), dtype=data.dtype)
+        )
+        piv64 = np.where(missing, np.inf, vals).astype(np.float64)
+        bad = np.abs(piv64) <= pivot_tolerance
+        fail = missing.copy()
+        if pivot_perturbation <= 0.0:
+            fail |= bad
+        first = int(np.argmax(fail)) if fail.any() else len(cols)
+        if pivot_perturbation > 0.0:
+            # static perturbation, sign-preserving (+ for an exact
+            # zero), applied in level order to the columns processed
+            to_fix = np.flatnonzero(bad[:first] & ~missing[:first])
+            if len(to_fix):
+                fixed = np.where(
+                    piv64[to_fix] < 0.0,
+                    -pivot_perturbation,
+                    pivot_perturbation,
+                )
+                data[pos[to_fix]] = fixed.astype(data.dtype)
+                stats.perturbed_columns.extend(
+                    int(c) for c in cols[to_fix]
+                )
+        if first == len(cols):
+            return len(cols), -1, 0.0
+        fail_col = int(cols[first])
+        fail_piv = 0.0 if missing[first] else float(piv64[first])
+        return first, fail_col, fail_piv
+
+    for b in plan.batches:
+        cols_cat = b.cols_cat
+        col_off = b.col_off
+        scale_off = b.scale_off
+        pair_off = b.pair_off
+        exp_off = b.exp_off
+
+        # -- value passes, one level at a time, in schedule order --
+        for i in range(len(col_off) - 1):
+            c0, c1 = int(col_off[i]), int(col_off[i + 1])
+            cols = cols_cat[c0:c1]
+            prefix_len, fail_col, fail_piv = _pivot_stage(cols)
+            ce = c0 + prefix_len
+            s0, s1 = int(scale_off[c0]), int(scale_off[ce])
+            p0, p1 = int(pair_off[c0]), int(pair_off[ce])
+            e0, e1 = int(exp_off[p0]), int(exp_off[p1])
+            if s1 > s0:
+                data[b.s_flat[s0:s1]] /= np.repeat(
+                    data[diag_pos[cols[:prefix_len]]], b.sc_cnt[c0:ce]
+                )
+            if e1 > e0:
+                contrib = data[b.l_flat[e0:e1]] * np.repeat(
+                    data[b.pos_ujk[p0:p1]], b.pair_rows[p0:p1]
+                )
+                np.subtract.at(data, b.pos_tgt[e0:e1], contrib)
+            stats.div_flops += s1 - s0
+            stats.update_flops += 2 * (e1 - e0)
+            stats.columns += prefix_len
+            stats.sub_column_updates += p1 - p0
+            search = 0
+            if count_search_steps:
+                search = int(b.pair_search[p1] - b.pair_search[p0])
+                stats.search_steps += search
+            if fail_col >= 0:
+                # the scalar loop raises mid-level: the preceding
+                # columns are fully processed, the partial level never
+                # reaches ``per_level``
+                if diag_pos[fail_col] < 0:
+                    raise SingularMatrixError(fail_col)
+                raise SingularMatrixError(fail_col, fail_piv)
+            stats.per_level.append(
+                (s1 - s0 + 2 * (e1 - e0), len(cols), p1 - p0, search)
+            )
+    return stats

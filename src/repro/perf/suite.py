@@ -7,6 +7,9 @@ Four scenario families, each seeded and therefore bit-deterministic:
   :class:`~repro.gpusim.TracingGPU` so the snapshot also captures
   trace-event counts.  Smoke mode shrinks the registry instances so the
   CI gate stays fast; full mode uses the real scaled sizes.
+* ``large/e2e`` — the same pipeline on the largest Table 2 instance
+  (pre2) at its *real* scaled size in both modes: the paper-scale gate
+  the vectorized host loops make affordable.
 * ``symbolic/outofcore_chunking`` — the two-stage chunked symbolic phase
   alone on a memory-starved device (chunk plans, iterations, split
   point).
@@ -61,6 +64,12 @@ _E2E_FULL = ("OT2", "R15", "GO")
 _SMOKE_N = 160
 _SMOKE_CHUNK_ROWS = 32
 
+#: ``large/e2e`` runs this registry instance at its *real* scaled size in
+#: both modes — the scenario exists to prove the vectorized host loops
+#: keep paper-scale dimensions CI-affordable (pre2 is the largest Table 2
+#: matrix, n_scaled ~ 8 sqrt(659033)).
+_LARGE_ABBR = "PR"
+
 
 def _trace_part(gpu: TracingGPU) -> dict[str, Any]:
     """Fold a :meth:`TracingGPU.trace_summary` into perf-record shape."""
@@ -77,11 +86,20 @@ def _trace_part(gpu: TracingGPU) -> dict[str, Any]:
     return {"counters": counters, "timings": timings}
 
 
-def _e2e_scenario(abbr: str, smoke: bool) -> ScenarioRecord:
+def _e2e_scenario(
+    abbr: str,
+    smoke: bool,
+    *,
+    name: str | None = None,
+    full_size: bool = False,
+) -> ScenarioRecord:
     spec = by_abbr(abbr)
-    chunk_rows = _SMOKE_CHUNK_ROWS if smoke else 128
-    if smoke:
-        spec = dataclasses.replace(spec, n_scaled=_SMOKE_N)
+    if full_size:
+        chunk_rows = 128
+    else:
+        chunk_rows = _SMOKE_CHUNK_ROWS if smoke else 128
+        if smoke:
+            spec = dataclasses.replace(spec, n_scaled=_SMOKE_N)
     a = spec.generate()
     filled = symbolic_fill_reference(a)
     device = spec.device_for_symbolic(a, filled.nnz, chunk_rows=chunk_rows)
@@ -90,10 +108,13 @@ def _e2e_scenario(abbr: str, smoke: bool) -> ScenarioRecord:
     res = EndToEndLU(cfg).factorize(a, gpu=gpu)
     split = res.symbolic.split_point
     extra = {
-        "counters": {"split_point": -1 if split is None else int(split)},
+        "counters": {
+            "n": int(a.n_rows),
+            "split_point": -1 if split is None else int(split),
+        },
     }
     return ScenarioRecord.from_parts(
-        f"e2e/{abbr}",
+        name or f"e2e/{abbr}",
         res.perf_record(),
         _trace_part(gpu),
         extra,
@@ -151,7 +172,9 @@ def _overlap_scenario(smoke: bool) -> ScenarioRecord:
 
     spec = by_abbr("CR2")
     chunk_rows = _SMOKE_CHUNK_ROWS if smoke else 128
-    n = _SMOKE_N if smoke else 240
+    # full mode needs n large enough that the halved device still sits
+    # below the all-rows symbolic requirement for this nearly-dense fill
+    n = _SMOKE_N if smoke else 320
     spec = dataclasses.replace(spec, n_scaled=n)
     a = spec.generate()
     filled = symbolic_fill_reference(a)
@@ -299,6 +322,10 @@ def _scenarios(smoke: bool) -> dict[str, Callable[[], ScenarioRecord]]:
     runners: dict[str, Callable[[], ScenarioRecord]] = {}
     for abbr in _E2E_SMOKE if smoke else _E2E_FULL:
         runners[f"e2e/{abbr}"] = partial(_e2e_scenario, abbr, smoke)
+    runners["large/e2e"] = partial(
+        _e2e_scenario, _LARGE_ABBR, smoke,
+        name="large/e2e", full_size=True,
+    )
     runners["symbolic/outofcore_chunking"] = partial(
         _symbolic_scenario, smoke
     )

@@ -1,0 +1,129 @@
+"""Wall-clock budgets for CI jobs.
+
+The perf-snapshot gate (:mod:`repro.perf.compare`) protects *simulated*
+time — the model's predictions — but says nothing about how long the
+suite takes to run.  After the host-loop vectorization made wall-clock a
+first-class property, this module gives CI a way to keep it: a committed
+budget file maps job labels to a maximum wall-clock, and
+``repro perf wallclock`` runs a command under the stopwatch, writes a
+JSON report (uploaded as a CI artifact so regressions can be bisected
+from run history), and fails the job when the budget is exceeded.
+
+Budgets are deliberately loose (several times the locally measured
+time): they exist to catch order-of-magnitude regressions — an
+accidentally quadratic loop, a de-vectorized hot path — not machine
+jitter.  Tighten them only with a corresponding measured improvement.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "DEFAULT_BUDGET_PATH",
+    "WallclockReport",
+    "load_budget_seconds",
+    "run_timed",
+    "run_under_budget",
+]
+
+#: committed budget file; see its ``notes`` field for the measurement
+#: provenance of each entry
+DEFAULT_BUDGET_PATH = "benchmarks/baselines/ci_budget.json"
+
+
+@dataclass
+class WallclockReport:
+    """Outcome of one budgeted run (what the CI artifact contains)."""
+
+    label: str
+    command: list[str]
+    elapsed_seconds: float
+    budget_seconds: float | None
+    returncode: int
+    ok: bool
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=2, sort_keys=True) + "\n"
+
+
+def load_budget_seconds(path: str | Path) -> dict[str, float]:
+    """Read ``{label: budget_seconds}`` from a committed budget file.
+
+    The file nests each entry under ``budgets`` so measurement
+    provenance (measured time, date, command) and free-form reference
+    notes can live alongside without polluting the label namespace.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        raw: dict[str, Any] = json.load(fh)
+    budgets = raw.get("budgets", {})
+    out: dict[str, float] = {}
+    for label, entry in budgets.items():
+        seconds = float(entry["budget_seconds"])
+        if seconds <= 0.0:
+            raise ValueError(f"budget for {label!r} must be positive")
+        out[label] = seconds
+    return out
+
+
+def run_timed(command: list[str]) -> tuple[int, float]:
+    """Run ``command`` and return ``(returncode, elapsed_seconds)``.
+
+    Output streams straight through to the caller's stdout/stderr so the
+    CI log keeps the command's own reporting (e.g. pytest durations).
+    """
+    t0 = time.perf_counter()
+    proc = subprocess.run(command)
+    return proc.returncode, time.perf_counter() - t0
+
+
+def evaluate(
+    label: str,
+    command: list[str],
+    returncode: int,
+    elapsed_seconds: float,
+    budgets: dict[str, float],
+) -> WallclockReport:
+    """Pure budget check, separated from process execution for testing."""
+    budget = budgets.get(label)
+    ok = returncode == 0 and budget is not None and elapsed_seconds <= budget
+    return WallclockReport(
+        label=label,
+        command=list(command),
+        elapsed_seconds=elapsed_seconds,
+        budget_seconds=budget,
+        returncode=returncode,
+        ok=ok,
+    )
+
+
+def run_under_budget(
+    label: str,
+    command: list[str],
+    *,
+    budget_path: str | Path = DEFAULT_BUDGET_PATH,
+    out_path: str | Path | None = None,
+) -> tuple[int, WallclockReport]:
+    """Run ``command`` against the committed budget for ``label``.
+
+    Returns ``(exit_code, report)``: the command's own failure code when
+    it fails, ``1`` when it succeeds but blows the budget, ``2`` when no
+    budget is committed for the label (new jobs must commit one), ``0``
+    otherwise.  The report is written to ``out_path`` when given,
+    regardless of outcome.
+    """
+    budgets = load_budget_seconds(budget_path)
+    returncode, elapsed = run_timed(command)
+    report = evaluate(label, command, returncode, elapsed, budgets)
+    if out_path is not None:
+        Path(out_path).write_text(report.to_json(), encoding="utf-8")
+    if returncode != 0:
+        return returncode, report
+    if report.budget_seconds is None:
+        return 2, report
+    return (0 if report.ok else 1), report

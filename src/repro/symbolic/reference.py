@@ -37,13 +37,21 @@ def _rows_as_bitsets(a: CSRMatrix) -> list[int]:
 
 
 def _bitset_to_indices(bits: int) -> np.ndarray:
-    """Set-bit positions of ``bits`` in increasing order."""
+    """Set-bit positions of ``bits`` in increasing order (scalar oracle)."""
     out = []
     while bits:
         lsb = bits & -bits
         out.append(lsb.bit_length() - 1)
         bits ^= lsb
     return np.asarray(out, dtype=INDEX_DTYPE)
+
+
+def _bitsets_to_bitmap(bitrows: list[int], n: int) -> np.ndarray:
+    """Stack bitsets into an ``(len(bitrows), n)`` 0/1 ``uint8`` matrix."""
+    width = (n + 7) // 8 if n else 1
+    buf = b"".join(b.to_bytes(width, "little") for b in bitrows)
+    packed = np.frombuffer(buf, dtype=np.uint8).reshape(len(bitrows), width)
+    return np.unpackbits(packed, axis=1, bitorder="little", count=n)
 
 
 def symbolic_fill_bitsets(a: CSRMatrix) -> list[int]:
@@ -58,8 +66,9 @@ def symbolic_fill_bitsets(a: CSRMatrix) -> list[int]:
     n = a.n_rows
     filled: list[int] = []
     upper_strict: list[int] = []  # filled row t restricted to columns > t
+    row_bits = _all_row_bits(a)
     for i in range(n):
-        row = _row_bits(a, i) | (1 << i)
+        row = row_bits[i] | (1 << i)
         below = (1 << i) - 1
         processed = 0
         while True:
@@ -82,6 +91,29 @@ def _row_bits(a: CSRMatrix, i: int) -> int:
     return bits
 
 
+def _all_row_bits(a: CSRMatrix) -> list[int]:
+    """Every row's column pattern as an int bitset, built in bulk.
+
+    One scatter of ``1 << (col % 8)`` into a packed ``(rows, bytes)``
+    byte map replaces the per-entry Python shift-or loop of
+    :func:`_row_bits`; the bigints are then sliced straight out of the
+    buffer.
+    """
+    width = (a.n_cols + 7) // 8 if a.n_cols else 1
+    packed = np.zeros((a.n_rows, width), dtype=np.uint8)
+    cols = a.indices
+    np.bitwise_or.at(
+        packed,
+        (a.row_ids_of_entries(), cols >> 3),
+        (1 << (cols & 7)).astype(np.uint8),
+    )
+    buf = packed.tobytes()
+    return [
+        int.from_bytes(buf[i * width : (i + 1) * width], "little")
+        for i in range(a.n_rows)
+    ]
+
+
 # Pattern-keyed memo: benchmark harnesses run several solver variants over
 # the same matrix, and the fill structure depends only on the pattern.
 _FILL_CACHE: dict[bytes, list[int]] = {}
@@ -98,13 +130,19 @@ def _pattern_key(a: CSRMatrix) -> bytes:
     return h.digest()
 
 
-def symbolic_fill_reference(a: CSRMatrix) -> CSRMatrix:
+def symbolic_fill_reference(a: CSRMatrix, *, slow: bool = False) -> CSRMatrix:
     """Filled pattern ``As`` of ``L + U`` as a CSR matrix.
 
     Values carry over from ``A`` where the position was original and are 0
     at fill positions (numeric factorization starts from exactly this
     state).  A structurally-missing diagonal is inserted with value 0.
     The (pattern-only) fill structure is memoized on the pattern hash.
+
+    With ``slow=True`` the materialization runs the original per-row
+    bit-walk and scatter; the default unpacks all bitsets into one 0/1
+    bitmap and places every original value with a single batched binary
+    search over the sorted global keys ``row * n + col``.  Both produce
+    identical arrays.
     """
     if a.n_rows != a.n_cols:
         raise ValueError("symbolic factorization requires a square matrix")
@@ -116,19 +154,33 @@ def symbolic_fill_reference(a: CSRMatrix) -> CSRMatrix:
         if len(_FILL_CACHE) >= _FILL_CACHE_MAX:
             _FILL_CACHE.pop(next(iter(_FILL_CACHE)))
         _FILL_CACHE[key] = bitrows
-    counts = np.array([b.bit_count() for b in bitrows], dtype=INDEX_DTYPE)
     indptr = np.zeros(n + 1, dtype=INDEX_DTYPE)
-    np.cumsum(counts, out=indptr[1:])
-    indices = np.empty(int(indptr[-1]), dtype=INDEX_DTYPE)
-    data = np.zeros(int(indptr[-1]), dtype=a.data.dtype)
-    for i in range(n):
-        cols_filled = _bitset_to_indices(bitrows[i])
-        s = int(indptr[i])
-        indices[s : s + len(cols_filled)] = cols_filled
-        # scatter original values into the filled row
-        orig_cols, orig_vals = a.row(i)
-        pos = np.searchsorted(cols_filled, orig_cols)
-        data[s + pos] = orig_vals
+    if slow:
+        counts = np.array([b.bit_count() for b in bitrows], dtype=INDEX_DTYPE)
+        np.cumsum(counts, out=indptr[1:])
+        indices = np.empty(int(indptr[-1]), dtype=INDEX_DTYPE)
+        data = np.zeros(int(indptr[-1]), dtype=a.data.dtype)
+        for i in range(n):
+            cols_filled = _bitset_to_indices(bitrows[i])
+            s = int(indptr[i])
+            indices[s : s + len(cols_filled)] = cols_filled
+            # scatter original values into the filled row
+            orig_cols, orig_vals = a.row(i)
+            pos = np.searchsorted(cols_filled, orig_cols)
+            data[s + pos] = orig_vals
+        return CSRMatrix(n, n, indptr, indices, data, check=False)
+    bitmap = _bitsets_to_bitmap(bitrows, n)
+    np.cumsum(bitmap.sum(axis=1, dtype=INDEX_DTYPE), out=indptr[1:])
+    # row-major flat positions of the filled pattern, globally sorted —
+    # exactly the keys ``row * n + col``
+    flat = np.flatnonzero(bitmap.reshape(-1))
+    indices = (flat % n).astype(INDEX_DTYPE)
+    data = np.zeros(len(flat), dtype=a.data.dtype)
+    orig_keys = (
+        a.row_ids_of_entries().astype(np.int64) * n
+        + a.indices.astype(np.int64)
+    )
+    data[np.searchsorted(flat, orig_keys)] = a.data
     return CSRMatrix(n, n, indptr, indices, data, check=False)
 
 

@@ -2,7 +2,7 @@
 
 Each entry carries the paper's original specification (name, abbreviation,
 ``n``, ``nnz``) and a *scaled instance*: a synthetic matrix of the same
-structural class and the same ``nnz/n`` density at ``n_scaled ~ 4 sqrt(n)``
+structural class and the same ``nnz/n`` density at ``n_scaled ~ 8 sqrt(n)``
 rows, paired with a proportionally scaled device memory that preserves the
 defining property of the table:
 
@@ -44,7 +44,7 @@ class MatrixSpec:
     paper_nnz: int
     kind: Kind
     seed: int
-    #: scaled row count (``~4 sqrt(paper_n)``, precomputed for stability)
+    #: scaled row count (``~8 sqrt(paper_n)``, precomputed for stability)
     n_scaled: int
     #: Table 4 only: the paper's reported max #blocks for the dense format
     paper_max_blocks: int | None = None
@@ -91,6 +91,14 @@ class MatrixSpec:
         )
         scratch = _SCRATCH_C * n * _INDEX_BYTES * chunk_rows
         mem = int(1.10 * (graph + filled)) + scratch
+        if self.abbr in UNIFIED_SUBSET:
+            # §4.3 eligibility must survive scaling: the 8x host has to
+            # keep the all-rows intermediates resident (as the paper's
+            # 128 GB host does for the 7 smallest matrices) alongside the
+            # graph and the paged output, so floor the device at an
+            # eighth of that managed footprint.
+            managed = self.scratch_all_rows_bytes() + graph + filled
+            mem = max(mem, int(1.10 * managed) // 8 + 1)
         assert mem < self.scratch_all_rows_bytes(), (
             f"{self.abbr}: scaled device must stay below the all-rows "
             "symbolic requirement"
@@ -130,7 +138,9 @@ class MatrixSpec:
 
 
 def _scaled_n(paper_n: int) -> int:
-    return int(round(4.0 * np.sqrt(paper_n)))
+    # 8 sqrt(n): doubled from the original 4 sqrt(n) once the host-side
+    # loops were vectorized — wall-clock, not algorithmics, set the cap.
+    return int(round(8.0 * np.sqrt(paper_n)))
 
 
 def _t2(name, abbr, n, nnz, kind, seed) -> MatrixSpec:

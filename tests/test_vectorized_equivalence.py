@@ -1,0 +1,302 @@
+"""Scalar-oracle vs vectorized host-path equivalence, registry-wide.
+
+The vectorization contract is *identical by construction*: the bulk
+NumPy paths (fill2 wave expansion, Kahn wave levelization, the batched
+right-looking numeric kernel and its cached structure plan) may only
+change wall-clock, never a result.  For every workload in the registry
+this harness asserts bitwise-identical factors, identical level
+schedules, identical traversal counters and identical simulated-time
+charges between ``slow=True`` (the readable per-element loops) and the
+default fast paths — including the error and pivot-perturbation
+branches.  The wall-clock budget checker that CI layers on top is unit
+tested at the bottom.
+"""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import EndToEndLU, SolverConfig
+from repro.core.refactorize import analyze
+from repro.errors import SingularMatrixError
+from repro.graph.depgraph import build_dependency_graph
+from repro.graph.levelize import kahn_levels, levelize_cpu
+from repro.numeric.rightlooking import factorize_in_place
+from repro.numeric.vectorized import factorize_in_place_fast
+from repro.perf.wallclock import (
+    evaluate,
+    load_budget_seconds,
+    run_under_budget,
+)
+from repro.sparse import CSRMatrix
+from repro.symbolic.fill2 import fill2_rows
+from repro.symbolic.reference import symbolic_fill_reference
+from repro.workloads.registry import FIG3_SPECS, TABLE2, TABLE4
+
+#: shrunk instance size — structure class and density are what matter,
+#: and both paths run every branch (bulk and small-wave) at this size
+_N = 96
+
+
+def _registry_specs():
+    seen = {}
+    for spec in (*TABLE2, *TABLE4, *FIG3_SPECS):
+        seen.setdefault(spec.abbr, spec)
+    return list(seen.values())
+
+
+def _generate(spec):
+    return dataclasses.replace(spec, n_scaled=_N).generate()
+
+
+def _stats_tuple(s):
+    return (
+        s.div_flops, s.update_flops, s.search_steps, s.columns,
+        s.sub_column_updates, tuple(s.per_level),
+        tuple(s.perturbed_columns),
+    )
+
+
+def _fill2_tuple(r):
+    return (
+        r.src, r.l_cols.tolist(), r.u_cols.tolist(), r.edges_scanned,
+        r.frontier_visits, r.max_frontier,
+    )
+
+
+def _schedules_equal(a, b) -> bool:
+    return np.array_equal(a.level_of, b.level_of) and all(
+        np.array_equal(x, y) for x, y in zip(a.levels, b.levels)
+    )
+
+
+# ---------------------------------------------------------------------------
+# registry-wide kernel equivalence
+
+
+@pytest.mark.parametrize("spec", _registry_specs(), ids=lambda s: s.abbr)
+def test_fill2_structure_and_counters_identical(spec):
+    a = _generate(spec)
+    slow = fill2_rows(a, slow=True)
+    fast = fill2_rows(a, slow=False)
+    assert [_fill2_tuple(r) for r in slow] == [
+        _fill2_tuple(r) for r in fast
+    ]
+
+
+@pytest.mark.parametrize("spec", _registry_specs(), ids=lambda s: s.abbr)
+def test_levelization_identical(spec):
+    graph = build_dependency_graph(symbolic_fill_reference(_generate(spec)))
+    assert _schedules_equal(
+        levelize_cpu(graph, slow=True), levelize_cpu(graph, slow=False)
+    )
+    assert _schedules_equal(
+        kahn_levels(graph, slow=True), kahn_levels(graph, slow=False)
+    )
+
+
+@pytest.mark.parametrize("spec", _registry_specs(), ids=lambda s: s.abbr)
+def test_numeric_factors_bitwise_and_stats_identical(spec):
+    filled = symbolic_fill_reference(_generate(spec))
+    sched = levelize_cpu(build_dependency_graph(filled))
+    for kwargs in (
+        {},
+        {"count_search_steps": True},
+        {"pivot_tolerance": 1e-30, "count_search_steps": True},
+    ):
+        ref, fast = filled.to_csc(), filled.to_csc()
+        s_ref = factorize_in_place(ref, filled, sched, **kwargs)
+        s_fast = factorize_in_place_fast(fast, filled, sched, **kwargs)
+        assert np.array_equal(ref.data, fast.data)  # bitwise
+        assert _stats_tuple(s_ref) == _stats_tuple(s_fast)
+
+
+# ---------------------------------------------------------------------------
+# error and recovery branches
+
+
+def _both_paths(dense, dtype=np.float64, **kwargs):
+    a = CSRMatrix.from_dense(np.asarray(dense, dtype=dtype))
+    filled = symbolic_fill_reference(a)
+    sched = levelize_cpu(build_dependency_graph(filled))
+    out = []
+    for fn in (factorize_in_place, factorize_in_place_fast):
+        As = filled.to_csc()
+        if As.data.dtype != dtype:
+            As = As.astype(dtype)
+        try:
+            stats = fn(As, filled, sched, **kwargs)
+            out.append(("ok", _stats_tuple(stats), As.data.copy()))
+        except SingularMatrixError as err:
+            out.append(("err", (err.column, err.value), As.data.copy()))
+    return out
+
+
+def _assert_paths_agree(dense, dtype=np.float64, **kwargs):
+    ref, fast = _both_paths(dense, dtype, **kwargs)
+    assert ref[0] == fast[0]
+    assert ref[1] == fast[1]
+    assert np.array_equal(ref[2], fast[2])
+
+
+def test_zero_pivot_raises_identically():
+    d = np.eye(4)
+    d[1, 1] = 0.0
+    d[1, 2] = d[2, 1] = 1.0
+    _assert_paths_agree(d)
+
+
+def test_tolerance_raise_and_perturbation_recovery_identical():
+    d = np.eye(3)
+    d[1, 1] = 1e-12
+    _assert_paths_agree(d, pivot_tolerance=1e-8)
+    _assert_paths_agree(d, pivot_tolerance=1e-8, pivot_perturbation=1e-3)
+
+
+def test_negative_pivot_perturbation_sign_preserved():
+    d = np.eye(3)
+    d[1, 1] = -1e-12
+    d[0, 1] = 0.3
+    d[1, 0] = 0.4
+    _assert_paths_agree(d, pivot_tolerance=1e-8, pivot_perturbation=1e-3)
+
+
+def test_missing_diagonal_raises_identically():
+    d = np.zeros((3, 3))
+    d[0, 0] = d[2, 2] = 1.0
+    d[0, 1] = d[1, 0] = d[1, 2] = d[2, 0] = 1.0
+    _assert_paths_agree(d)
+    # perturbation only repairs numeric zeros, never structural ones
+    _assert_paths_agree(d, pivot_perturbation=1e-3)
+
+
+def test_mid_level_failure_partial_state_identical():
+    rng = np.random.default_rng(7)
+    m = (rng.random((40, 40)) < 0.2) * rng.standard_normal((40, 40))
+    np.fill_diagonal(m, rng.standard_normal(40) + 5)
+    m[17, 17] = 0.0
+    _assert_paths_agree(m)
+    _assert_paths_agree(m, pivot_perturbation=1e-4)
+    _assert_paths_agree(
+        m.astype(np.float32), dtype=np.float32, count_search_steps=True
+    )
+
+
+# ---------------------------------------------------------------------------
+# whole-pipeline equivalence and the plan cache
+
+
+@pytest.mark.parametrize("abbr", ["OT2", "HT20"])
+def test_pipeline_slow_host_loops_invariant(abbr):
+    from repro.workloads.registry import by_abbr
+
+    a = dataclasses.replace(by_abbr(abbr), n_scaled=_N).generate()
+    results = {
+        slow: EndToEndLU(SolverConfig(slow_host_loops=slow)).factorize(a)
+        for slow in (False, True)
+    }
+    fast, slow = results[False], results[True]
+    assert np.array_equal(fast.numeric.As.data, slow.numeric.As.data)
+    assert fast.perf_record() == slow.perf_record()
+    assert (
+        fast.gpu.ledger.total_seconds == slow.gpu.ledger.total_seconds
+    )
+
+
+def test_slow_host_loops_env_flips_default(monkeypatch):
+    monkeypatch.setenv("REPRO_SLOW_HOST_LOOPS", "1")
+    assert SolverConfig().slow_host_loops
+    monkeypatch.setenv("REPRO_SLOW_HOST_LOOPS", "0")
+    assert not SolverConfig().slow_host_loops
+
+
+def test_refactorize_reuses_numeric_plan():
+    from repro.workloads.registry import by_abbr
+
+    spec = dataclasses.replace(by_abbr("OT2"), n_scaled=_N)
+    a = spec.generate()
+    analysis = analyze(a)
+    first = analysis.refactorize(a)
+    plans = getattr(analysis.schedule, "_numeric_plans", None)
+    assert plans, "fast path should cache its structure plan"
+    cached = dict(plans)
+    # same values again: identical factors out of the cached plan
+    second = analysis.refactorize(a)
+    assert np.array_equal(first.U.data, second.U.data)
+    assert np.array_equal(first.L.data, second.L.data)
+    for key, plan in cached.items():
+        assert plans[key] is plan, "plan must be reused, not rebuilt"
+
+
+# ---------------------------------------------------------------------------
+# wall-clock budget checker
+
+
+def _write_budget(path, label="tier1", seconds=5.0):
+    path.write_text(
+        json.dumps({"budgets": {label: {"budget_seconds": seconds}}}),
+        encoding="utf-8",
+    )
+
+
+def test_wallclock_load_and_evaluate(tmp_path):
+    budget_file = tmp_path / "budget.json"
+    _write_budget(budget_file, seconds=5.0)
+    budgets = load_budget_seconds(budget_file)
+    assert budgets == {"tier1": 5.0}
+    ok = evaluate("tier1", ["true"], 0, 1.0, budgets)
+    assert ok.ok and ok.budget_seconds == 5.0
+    over = evaluate("tier1", ["true"], 0, 9.0, budgets)
+    assert not over.ok
+    failed = evaluate("tier1", ["false"], 3, 1.0, budgets)
+    assert not failed.ok and failed.returncode == 3
+    unknown = evaluate("other", ["true"], 0, 1.0, budgets)
+    assert not unknown.ok and unknown.budget_seconds is None
+
+
+def test_wallclock_rejects_nonpositive_budget(tmp_path):
+    budget_file = tmp_path / "budget.json"
+    _write_budget(budget_file, seconds=0.0)
+    with pytest.raises(ValueError):
+        load_budget_seconds(budget_file)
+
+
+def test_wallclock_run_under_budget_roundtrip(tmp_path):
+    budget_file = tmp_path / "budget.json"
+    _write_budget(budget_file, seconds=60.0)
+    report_file = tmp_path / "report.json"
+    code, report = run_under_budget(
+        "tier1",
+        ["python", "-c", "pass"],
+        budget_path=budget_file,
+        out_path=report_file,
+    )
+    assert code == 0 and report.ok
+    on_disk = json.loads(report_file.read_text(encoding="utf-8"))
+    assert on_disk["label"] == "tier1"
+    assert on_disk["ok"] is True
+    assert on_disk["budget_seconds"] == 60.0
+
+    # over budget: command succeeds but the stopwatch gates it
+    _write_budget(budget_file, seconds=1e-9)
+    code, report = run_under_budget(
+        "tier1", ["python", "-c", "pass"], budget_path=budget_file
+    )
+    assert code == 1 and not report.ok
+
+    # no committed budget for the label: distinct exit code
+    code, report = run_under_budget(
+        "missing", ["python", "-c", "pass"], budget_path=budget_file
+    )
+    assert code == 2 and report.budget_seconds is None
+
+    # failing command: its own exit code wins over the budget verdict
+    _write_budget(budget_file, seconds=60.0)
+    code, report = run_under_budget(
+        "tier1",
+        ["python", "-c", "import sys; sys.exit(4)"],
+        budget_path=budget_file,
+    )
+    assert code == 4 and not report.ok
