@@ -1,0 +1,248 @@
+"""Drift bench: amortized analysis cost under incremental re-analysis.
+
+The measurement harness behind ``repro drift-bench`` and the
+``serve/drift`` perf scenario.  It replays one seeded drifting-pattern
+trace (:func:`~repro.serve.loadgen.synthesize_drift_trace` — families of
+slowly-evolving FEM structures, values re-stamped every request,
+band-local pattern drift every few visits) through two services that
+differ in exactly one knob:
+
+* **on** — the default :class:`~repro.core.IncrementalPolicy`: every
+  family-hinted miss probes the cache's family index and splices the
+  donor's delta (``analysis_delta`` charge) instead of analyzing cold;
+* **off** — ``IncrementalPolicy(enabled=False)``: every miss pays the
+  full cold ``analyze()`` (``analysis`` charge).
+
+Three gates, asserted by the CLI exit status and the perf baseline:
+
+* **amortized** — total simulated analysis charge *off* over *on*
+  (cold ``analysis`` vs ``analysis + analysis_delta``) is at least
+  :data:`GATE_AMORTIZED_RATIO`;
+* **hit rate** — every post-base miss splices (incremental hits cover
+  at least :data:`GATE_HIT_RATE` of the eligible misses);
+* **bitwise** — each of the on-replay's solution vectors is
+  bitwise-identical to the off-replay's (splicing moves *time*, never
+  numerics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.incremental import IncrementalPolicy
+from ..serve.loadgen import (
+    LoadReport,
+    TraceRequest,
+    run_load,
+    synthesize_drift_trace,
+)
+from ..serve.service import ServeConfig
+
+__all__ = [
+    "GATE_AMORTIZED_RATIO",
+    "GATE_HIT_RATE",
+    "DriftReport",
+    "run_drift_bench",
+    "format_drift_report",
+    "run_drift_bench_cli",
+]
+
+#: minimum off/on amortized simulated analysis-cost ratio
+GATE_AMORTIZED_RATIO = 3.0
+
+#: minimum share of eligible misses (misses beyond the per-family cold
+#: bases) served by a delta splice
+GATE_HIT_RATE = 0.9
+
+
+@dataclass
+class DriftReport:
+    """Outcome of one on/off drift replay pair (simulated seconds)."""
+
+    requests: int
+    completed: int
+    num_families: int
+    incremental_hits: int
+    incremental_fallbacks: int
+    cache_hits: int
+    cache_misses: int
+    #: simulated cold-analysis charge with splicing disabled
+    analyze_seconds_off: float
+    #: simulated ``analysis + analysis_delta`` charge with splicing on
+    analyze_seconds_on: float
+    bitwise_checked: int
+    bitwise_mismatches: int
+    on: LoadReport = field(repr=False, default=None)  # type: ignore[assignment]
+    off: LoadReport = field(repr=False, default=None)  # type: ignore[assignment]
+
+    # -- derived ---------------------------------------------------------
+    @property
+    def amortized_ratio(self) -> float:
+        """Cold analysis charge over the incremental run's total
+        analysis charge (higher = better; 0.0 for empty replays)."""
+        if self.analyze_seconds_on <= 0 or self.analyze_seconds_off <= 0:
+            return 0.0
+        return self.analyze_seconds_off / self.analyze_seconds_on
+
+    @property
+    def eligible_misses(self) -> int:
+        """Misses that *could* have spliced: every miss after each
+        family's first (the bases are unavoidably cold)."""
+        return max(0, self.cache_misses - self.num_families)
+
+    @property
+    def incremental_hit_rate(self) -> float:
+        if not self.eligible_misses:
+            return 0.0
+        return self.incremental_hits / self.eligible_misses
+
+    @property
+    def bitwise_ok(self) -> bool:
+        return self.bitwise_checked > 0 and self.bitwise_mismatches == 0
+
+    @property
+    def amortized_ok(self) -> bool:
+        return self.amortized_ratio >= GATE_AMORTIZED_RATIO
+
+    @property
+    def hit_rate_ok(self) -> bool:
+        return self.incremental_hit_rate >= GATE_HIT_RATE
+
+    @property
+    def passed(self) -> bool:
+        return self.amortized_ok and self.hit_rate_ok and self.bitwise_ok
+
+    # -- export ----------------------------------------------------------
+    def perf_record(self) -> dict:
+        """Exact counters + banded timings for the perf-snapshot suite
+        (shape of every other ``perf_record`` hook)."""
+        counters = {
+            "requests": int(self.requests),
+            "completed": int(self.completed),
+            "num_families": int(self.num_families),
+            "incremental_hits": int(self.incremental_hits),
+            "incremental_fallbacks": int(self.incremental_fallbacks),
+            "cache_hits": int(self.cache_hits),
+            "cache_misses": int(self.cache_misses),
+            "eligible_misses": int(self.eligible_misses),
+            "bitwise_checked": int(self.bitwise_checked),
+            "bitwise_mismatches": int(self.bitwise_mismatches),
+        }
+        timings = {
+            "analyze_seconds_off": float(self.analyze_seconds_off),
+            "analyze_seconds_on": float(self.analyze_seconds_on),
+            "amortized_ratio": float(self.amortized_ratio),
+            "incremental_hit_rate": float(self.incremental_hit_rate),
+        }
+        labels = {
+            "amortized_ok": str(self.amortized_ok).lower(),
+            "hit_rate_ok": str(self.hit_rate_ok).lower(),
+            "bitwise_ok": str(self.bitwise_ok).lower(),
+            "passed": str(self.passed).lower(),
+        }
+        return {"counters": counters, "timings": timings, "labels": labels}
+
+
+def _drift_trace(*, smoke: bool, seed: int) -> list[TraceRequest]:
+    n, requests = (400, 48) if smoke else (800, 72)
+    return synthesize_drift_trace(
+        num_families=2,
+        num_requests=requests,
+        n=n,
+        nnz_per_row=7.0,
+        seed=seed,
+        drift_every=4,
+        drift_add=3,
+        drift_bandwidth=8,
+        matrix_class="fem",
+    )
+
+
+def run_drift_bench(*, smoke: bool = False, seed: int = 0) -> DriftReport:
+    """Replay the drift trace with splicing on vs off and compare.
+
+    Both replays consume the *identical* trace object (same patterns,
+    values and right-hand sides), so the only degree of freedom is the
+    incremental policy — the measured ratio is pure analysis-path
+    savings, and the bitwise comparison is exact.
+    """
+    trace = _drift_trace(smoke=smoke, seed=seed)
+    on = run_load(trace, ServeConfig(), baseline=False)
+    off = run_load(
+        trace,
+        ServeConfig(incremental=IncrementalPolicy(enabled=False)),
+        baseline=False,
+    )
+
+    checked = mismatches = 0
+    off_by_id = {r.request_id: r for r in off.responses}
+    for resp in on.responses:
+        if resp.status != "ok" or resp.x is None:
+            continue
+        ref = off_by_id.get(resp.request_id)
+        checked += 1
+        if (
+            ref is None
+            or ref.x is None
+            or not np.array_equal(resp.x, ref.x)
+        ):
+            mismatches += 1
+
+    counters = on.stats.get("counters", {})
+    phases_on = on.stats.get("phase_seconds", {})
+    phases_off = off.stats.get("phase_seconds", {})
+    return DriftReport(
+        requests=len(trace),
+        completed=on.completed,
+        num_families=2,
+        incremental_hits=int(counters.get("incremental_hits", 0)),
+        incremental_fallbacks=int(
+            counters.get("incremental_fallbacks", 0)
+        ),
+        cache_hits=int(counters.get("cache_hits", 0)),
+        cache_misses=int(counters.get("cache_misses", 0)),
+        analyze_seconds_off=float(phases_off.get("analysis", 0.0)),
+        analyze_seconds_on=float(phases_on.get("analysis", 0.0))
+        + float(phases_on.get("analysis_delta", 0.0)),
+        bitwise_checked=checked,
+        bitwise_mismatches=mismatches,
+        on=on,
+        off=off,
+    )
+
+
+def format_drift_report(report: DriftReport) -> str:
+    def verdict(ok: bool) -> str:
+        return "ok" if ok else "FAIL"
+
+    lines = [
+        f"drift bench: {report.requests} requests, "
+        f"{report.num_families} drifting families "
+        f"({report.completed} completed)",
+        f"  batches: {report.cache_hits} exact hits / "
+        f"{report.cache_misses} misses "
+        f"({report.incremental_hits} spliced, "
+        f"{report.incremental_fallbacks} over-threshold fallbacks)",
+        f"  [{verdict(report.hit_rate_ok):>4s}] incremental hit rate "
+        f"{report.incremental_hit_rate:.3f} over "
+        f"{report.eligible_misses} eligible misses "
+        f"(gate >= {GATE_HIT_RATE})",
+        f"  [{verdict(report.amortized_ok):>4s}] amortized analysis "
+        f"cost {report.analyze_seconds_off * 1e3:.3f} ms cold vs "
+        f"{report.analyze_seconds_on * 1e3:.3f} ms incremental = "
+        f"{report.amortized_ratio:.2f}x "
+        f"(gate >= {GATE_AMORTIZED_RATIO}x)",
+        f"  [{verdict(report.bitwise_ok):>4s}] bitwise: "
+        f"{report.bitwise_checked} solutions compared, "
+        f"{report.bitwise_mismatches} mismatches",
+        f"  verdict: {'PASS' if report.passed else 'FAIL'}",
+    ]
+    return "\n".join(lines)
+
+
+def run_drift_bench_cli(*, smoke: bool = False, seed: int = 0) -> int:
+    report = run_drift_bench(smoke=smoke, seed=seed)
+    print(format_drift_report(report))
+    return 0 if report.passed else 1

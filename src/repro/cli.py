@@ -37,6 +37,10 @@ Commands
               crash); gates remap fraction vs the ring bound, bitwise
               identity of every non-shed response, p99 recovery and
               rerun determinism (see docs/churn.md).
+``drift-bench``   replay a drifting-pattern trace with incremental
+              re-analysis on vs off; gates the amortized analysis-cost
+              ratio, the family-donor splice hit rate and bitwise
+              identity of every solution (see docs/incremental.md).
 ``fault-drill``   run the four fault/recovery scenarios (flaky link,
               OOM storm, singular workload, dead device) and verify
               every one recovers or degrades to the CPU fallback, with
@@ -283,6 +287,12 @@ def cmd_churn_drill(args) -> int:
     from .bench.churn import run_churn_drill_cli
 
     return run_churn_drill_cli(smoke=args.smoke, seed=args.seed)
+
+
+def cmd_drift_bench(args) -> int:
+    from .bench.drift import run_drift_bench_cli
+
+    return run_drift_bench_cli(smoke=args.smoke, seed=args.seed)
 
 
 def cmd_perf(args) -> int:
@@ -565,6 +575,18 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--seed", type=int, default=0,
                     help="trace seed (same seed -> identical drill)")
     sp.set_defaults(fn=cmd_churn_drill)
+
+    sp = sub.add_parser(
+        "drift-bench",
+        help="replay a drifting-pattern trace with incremental "
+             "re-analysis on vs off; gates the amortized analysis-cost "
+             "ratio, splice hit rate, and bitwise identity",
+    )
+    sp.add_argument("--smoke", action="store_true",
+                    help="small trace (CI-sized run)")
+    sp.add_argument("--seed", type=int, default=0,
+                    help="trace seed (same seed -> identical replay)")
+    sp.set_defaults(fn=cmd_drift_bench)
 
     sp = sub.add_parser(
         "perf",

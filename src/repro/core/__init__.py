@@ -50,6 +50,13 @@ from .refactorize import (
     ReusableAnalysis,
     analyze,
 )
+from .incremental import (
+    IncrementalPolicy,
+    IncrementalReport,
+    best_donor,
+    incremental_analyze,
+    incremental_analyze_pre,
+)
 from .autotune import AutotuneResult, TuneCandidate, autotune_symbolic
 from .btf_solver import BTFFactorization, factorize_btf
 from .multigpu import (
@@ -82,6 +89,11 @@ __all__ = [
     "analyze",
     "ReusableAnalysis",
     "RefactorizeResult",
+    "IncrementalPolicy",
+    "IncrementalReport",
+    "best_donor",
+    "incremental_analyze",
+    "incremental_analyze_pre",
     "solve_gpu",
     "GpuSolveResult",
     "factorize_btf",

@@ -77,6 +77,9 @@ class ReusableAnalysis:
         self.graph = graph
         self.schedule = schedule
         self.analysis_seconds = analysis_seconds
+        #: pattern-family tag used by the serving caches for near-miss
+        #: donor lookups (set by the serve layer; None = untagged)
+        self.family: str | None = None
         self._pattern_indptr = pre.matrix.indptr.copy()
         self._pattern_indices = pre.matrix.indices.copy()
         # scatter map: position of every original entry inside the filled

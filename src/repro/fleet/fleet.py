@@ -86,6 +86,11 @@ class FleetResponse:
     ``cold`` (full analysis), or ``none`` (shed/lost — no work done).
     ``epoch`` is the ring topology version the request was admitted
     under.
+
+    Family-hinted traffic adds two delta tiers: ``delta`` (spliced from
+    a donor already resident in the node's L1) and ``l2-delta``
+    (spliced from a donor staged over the node's L2 link) — in both the
+    full analysis was avoided and only the structural delta was paid.
     """
 
     index: int
@@ -132,6 +137,7 @@ class _Inflight:
     request_id: int
     rerouted: bool
     epoch: int = 0
+    family: str | None = None
 
 
 class Fleet:
@@ -254,12 +260,15 @@ class Fleet:
         *,
         deadline: float | None = None,
         timeout: float | None = None,
+        family: str | None = None,
     ) -> int:
         """Route, admit and enqueue ``A x = b``; returns the fleet
         sequence index.  Raises :class:`ShedError` on overload or an
         unhealthy fleet — the shed is *recorded* (a ``shed``
         :class:`FleetResponse` under the raised error's ``.index``)
-        before raising, so no response is ever lost.
+        before raising, so no response is ever lost.  ``family`` is the
+        optional pattern-family digest enabling delta splicing from
+        near-miss donors (L1-resident or staged over the L2 link).
         """
         self._check_open()
         key = pattern_key(a)
@@ -279,7 +288,9 @@ class Fleet:
             raise
         node = self.nodes[node_id]
         try:
-            rid = node.submit(a, b, deadline=deadline, timeout=timeout)
+            rid = node.submit(
+                a, b, deadline=deadline, timeout=timeout, family=family
+            )
         except QueueFullError as exc:
             # the node's own bounded queue is the second gate; convert
             # to the fleet's typed shed signal
@@ -297,6 +308,7 @@ class Fleet:
                 index=index, key=key, request_id=rid,
                 rerouted=node_id != preference[0],
                 epoch=self.ring.epoch,
+                family=family,
             )
         )
         return index
@@ -312,12 +324,18 @@ class Fleet:
 
         return publish
 
-    def _stage_l2(self, node_id: int) -> set[str]:
+    def _stage_l2(self, node_id: int) -> tuple[set[str], set[str]]:
         """Pre-dispatch L2 stage for one node: fetch every pending
         pattern missing from the node's L1, stalling the node's clock
-        until its link delivers.  Returns the keys served from L2."""
+        until its link delivers.  A family-hinted pattern that misses
+        *both* tiers additionally tries to stage a family donor over
+        the same link, so the node's scheduler can splice the delta
+        instead of analyzing cold.  Returns
+        ``(keys served from L2, keys with an L2-staged family donor)``.
+        """
         node = self.nodes[node_id]
         fetched: set[str] = set()
+        family_staged: set[str] = set()
         seen: set[str] = set()
         for job in self._inflight[node_id]:
             if job.key in seen:
@@ -327,6 +345,30 @@ class Fleet:
                 continue
             fetch = self.l2.fetch(node_id, job.key, node.clock)
             if not fetch.hit:
+                if (
+                    job.family is not None
+                    and node.scheduler.incremental.enabled
+                    and not node.scheduler.cache.family_members(
+                        job.family
+                    )
+                ):
+                    donor = self.l2.fetch_family(
+                        node_id, job.family, node.clock,
+                        exclude={job.key},
+                    )
+                    if donor is not None and donor.hit:
+                        assert donor.analysis is not None
+                        wait = donor.end_s - node.clock
+                        if wait > 0:
+                            node.tick(wait)
+                        node.scheduler.adopt_analysis(
+                            donor.key, donor.analysis
+                        )
+                        if (
+                            node.scheduler.cache.peek(donor.key)
+                            is not None
+                        ):
+                            family_staged.add(job.key)
                 continue
             assert fetch.analysis is not None
             wait = fetch.end_s - node.clock
@@ -338,7 +380,7 @@ class Fleet:
             # an entry too large for the node's whole L1 budget could
             # not be adopted; the batch re-analyzes cold (and the
             # labels say so)
-        return fetched
+        return fetched, family_staged
 
     def _flush_node(self, node_id: int) -> list[FleetResponse]:
         """Stage + drain one node's inflight work (the per-node body of
@@ -347,7 +389,7 @@ class Fleet:
         if not jobs:
             return []
         node = self.nodes[node_id]
-        fetched = self._stage_l2(node_id)
+        fetched, family_staged = self._stage_l2(node_id)
         responses = {
             r.request_id: r for r in node.flush()
         }
@@ -361,6 +403,12 @@ class Fleet:
                 served = "l2"
             elif resp.cache_hit:
                 served = "l1"
+            elif resp.incremental:
+                # the splice's donor either crossed the wire this round
+                # or was already resident in the node's L1
+                served = (
+                    "l2-delta" if job.key in family_staged else "delta"
+                )
             else:
                 served = "cold"
             self.admission.record_result(

@@ -249,6 +249,43 @@ class L2Cache:
         return L2Fetch(key=key, analysis=entry, start_s=start,
                        duration_s=dur)
 
+    def fetch_family(
+        self,
+        node_id: int,
+        family: str,
+        ready_s: float,
+        *,
+        exclude: frozenset[str] | set[str] = frozenset(),
+    ) -> L2Fetch | None:
+        """Fetch a *donor* analysis from ``family`` for ``node_id``.
+
+        The near-miss path: the exact pattern key missed both tiers, but
+        a drifted sibling (same :func:`~repro.serve.cache.family_key`
+        digest) may be resident — splicing its delta locally beats a
+        cold analysis.  The newest resident member not in ``exclude`` is
+        fetched, paying full wire time on the node's link exactly like
+        an exact-key :meth:`fetch` (speculation is honest: if the delta
+        later exceeds the incremental budget, the fetch cost is sunk).
+        Returns ``None`` when no eligible member is resident.  Store
+        hit/miss counters are untouched — family probes are tracked
+        separately (``l2_family_hits`` / ``l2_family_misses``).
+        """
+        link = self._link(node_id)
+        for key in self.store.family_members(family):
+            if key in exclude:
+                continue
+            entry = self.store.peek(key)
+            if entry is None:
+                continue
+            start, dur = link.schedule(ready_s, entry.nbytes)
+            self.ledger.charge_busy(dur, f"l2:fetch:node{node_id}")
+            self.ledger.count("l2_family_hits")
+            self.ledger.count("bytes_l2_fetch", int(entry.nbytes))
+            return L2Fetch(key=key, analysis=entry, start_s=start,
+                           duration_s=dur)
+        self.ledger.count("l2_family_misses")
+        return None
+
     def put(self, node_id: int, key: str, analysis: ReusableAnalysis,
             ready_s: float) -> float:
         """Publish an analysis (write-behind): occupies the node's link
@@ -276,6 +313,8 @@ class L2Cache:
         out = self.store.stats()
         out["link"] = self.config.link.name
         out["writes"] = self.ledger.get_count("l2_writes")
+        out["family_hits"] = self.ledger.get_count("l2_family_hits")
+        out["family_misses"] = self.ledger.get_count("l2_family_misses")
         out["bytes_fetched"] = self.ledger.get_count("bytes_l2_fetch")
         out["bytes_written"] = self.ledger.get_count("bytes_l2_write")
         out["links"] = [

@@ -70,7 +70,7 @@ def replay_fleet(
             record.applied_at_index = index
             cursor += 1
         try:
-            fleet.submit(event.a, event.b)
+            fleet.submit(event.a, event.b, family=event.family)
         except ShedError:
             continue  # recorded by the fleet; keep replaying
         if fleet.pending >= flush_every:
@@ -165,6 +165,10 @@ class FleetReport:
     makespan_seconds: float
     latency_p50: float
     latency_p99: float
+    #: delta-spliced from a donor already in the node's L1
+    served_delta: int = 0
+    #: delta-spliced from a donor staged over the node's L2 link
+    served_l2_delta: int = 0
     #: admitted requests in flight on a crashed node (churn replays)
     lost: int = 0
     #: admitted requests per node id (live or since-departed)
@@ -195,10 +199,16 @@ class FleetReport:
 
     @property
     def warm_rate(self) -> float:
-        """Share of admitted requests that avoided a cold analysis."""
+        """Share of admitted requests that avoided a *full* cold
+        analysis (delta splices count as warm: they paid only the
+        structural delta)."""
         if not self.admitted:
             return 0.0
-        return (self.served_l1 + self.served_l2) / self.admitted
+        warm = (
+            self.served_l1 + self.served_l2
+            + self.served_delta + self.served_l2_delta
+        )
+        return warm / self.admitted
 
     @property
     def throughput(self) -> float:
@@ -235,6 +245,8 @@ class FleetReport:
             "served_l1": int(self.served_l1),
             "served_l2": int(self.served_l2),
             "served_cold": int(self.served_cold),
+            "served_delta": int(self.served_delta),
+            "served_l2_delta": int(self.served_l2_delta),
             "l2_hits": int(self.l2_hits),
             "l2_misses": int(self.l2_misses),
             "churn_events": len(self.churn_records),
@@ -295,7 +307,7 @@ def run_fleet_load(
     fleet.shutdown()
 
     latency = Histogram()
-    served = {"l1": 0, "l2": 0, "cold": 0}
+    served = {"l1": 0, "l2": 0, "cold": 0, "delta": 0, "l2-delta": 0}
     shed = lost = errors = timeouts = completed = rerouted = 0
     per_node: dict[int, int] = {i: 0 for i in range(cfg.num_nodes)}
     for r in responses:
@@ -331,6 +343,8 @@ def run_fleet_load(
         served_l1=served["l1"],
         served_l2=served["l2"],
         served_cold=served["cold"],
+        served_delta=served["delta"],
+        served_l2_delta=served["l2-delta"],
         l2_hits=int(l2_stats["hits"]),
         l2_misses=int(l2_stats["misses"]),
         makespan_seconds=float(stats["makespan_seconds"]),
@@ -359,6 +373,8 @@ def format_fleet_report(report: FleetReport) -> str:
         f"rerouted          {report.rerouted}",
         f"served l1/l2/cold {report.served_l1}/{report.served_l2}"
         f"/{report.served_cold} (warm rate {report.warm_rate:.3f})",
+        f"served delta      {report.served_delta} l1-donor / "
+        f"{report.served_l2_delta} l2-donor",
         f"l2 store          {report.l2_hits} hits / "
         f"{report.l2_misses} misses "
         f"(hit rate {report.l2_hit_rate:.3f})",

@@ -23,6 +23,10 @@ Four scenario families, each seeded and therefore bit-deterministic:
   factorization over four devices (makespan, balance, summed ledgers).
 * ``serve/replay`` — a repeated-pattern trace through the solver service
   (cache hit rate, latency percentiles, speedup vs. cold solves).
+* ``serve/drift`` — the incremental re-analysis bench: one drifting
+  family trace replayed with splicing on vs off (incremental hit rate,
+  amortized analyze-cost ratio, bitwise-identity flag — the gates of
+  ``repro drift-bench``).
 * ``fleet/serve`` — the cluster tier: a zipf trace over a 4-node fleet
   with a deliberately tight L1 (routing balance, L1/L2 tier hit rates,
   shed count, exact latency percentiles).
@@ -310,6 +314,13 @@ def _churn_scenario(smoke: bool) -> ScenarioRecord:
     return ScenarioRecord.from_parts("fleet/churn", report.perf_record())
 
 
+def _drift_scenario(smoke: bool) -> ScenarioRecord:
+    from ..bench.drift import run_drift_bench
+
+    report = run_drift_bench(smoke=smoke, seed=0)
+    return ScenarioRecord.from_parts("serve/drift", report.perf_record())
+
+
 def _faults_scenario(smoke: bool) -> ScenarioRecord:
     from ..bench.fault_drill import run_fault_drill
 
@@ -336,6 +347,7 @@ def _scenarios(smoke: bool) -> dict[str, Callable[[], ScenarioRecord]]:
         )
     runners["multigpu/e2e"] = partial(_multigpu_e2e_scenario, smoke)
     runners["serve/replay"] = partial(_serve_scenario, smoke)
+    runners["serve/drift"] = partial(_drift_scenario, smoke)
     runners["fleet/serve"] = partial(_fleet_scenario, smoke)
     runners["fleet/churn"] = partial(_churn_scenario, smoke)
     runners["faults/drill"] = partial(_faults_scenario, smoke)

@@ -32,7 +32,13 @@ Quickstart::
 """
 
 from .breaker import BreakerConfig, CircuitBreaker
-from .cache import AnalysisCache, pattern_key, values_key
+from .cache import (
+    AnalysisCache,
+    family_key,
+    pattern_key,
+    strip_explicit_zeros,
+    values_key,
+)
 from .loadgen import (
     LoadReport,
     TraceRequest,
@@ -41,6 +47,7 @@ from .loadgen import (
     replay,
     restamp,
     run_load,
+    synthesize_drift_trace,
     synthesize_trace,
     zipf_weights,
 )
@@ -58,7 +65,9 @@ __all__ = [
     "BreakerConfig",
     "CircuitBreaker",
     "AnalysisCache",
+    "family_key",
     "pattern_key",
+    "strip_explicit_zeros",
     "values_key",
     "Histogram",
     "ServiceMetrics",
@@ -74,6 +83,7 @@ __all__ = [
     "LoadReport",
     "restamp",
     "synthesize_trace",
+    "synthesize_drift_trace",
     "replay",
     "cold_baseline_seconds",
     "run_load",

@@ -26,21 +26,82 @@ import numpy as np
 from ..core.refactorize import ReusableAnalysis
 from ..sparse import CSRMatrix
 
-__all__ = ["AnalysisCache", "pattern_key", "values_key"]
+__all__ = [
+    "AnalysisCache",
+    "family_key",
+    "pattern_key",
+    "strip_explicit_zeros",
+    "values_key",
+]
+
+
+def strip_explicit_zeros(a: CSRMatrix) -> CSRMatrix:
+    """``a`` without explicitly stored zero entries (``a`` itself when
+    there are none).
+
+    An explicitly stored ``0.0`` is *numerically* indistinguishable
+    from an absent entry — the factors it produces are identical — but
+    it perturbs ``indptr``/``indices`` and therefore every structural
+    digest.  Canonicalizing here makes :func:`pattern_key` (and the
+    family index built on it) agree for matrices that differ only in
+    stored zeros.  The common all-nonzero case is a single vectorized
+    check with no copy.
+    """
+    if a.data.all():
+        return a
+    from ..sparse.types import INDEX_DTYPE
+
+    keep = a.data != 0.0
+    counts = np.zeros(a.n_rows, dtype=INDEX_DTYPE)
+    np.add.at(counts, a.row_ids_of_entries()[keep], 1)
+    indptr = np.zeros(a.n_rows + 1, dtype=INDEX_DTYPE)
+    np.cumsum(counts, out=indptr[1:])
+    return CSRMatrix(
+        a.n_rows,
+        a.n_cols,
+        indptr,
+        a.indices[keep].astype(INDEX_DTYPE),
+        a.data[keep],
+        check=False,
+    )
 
 
 def pattern_key(a: CSRMatrix) -> str:
     """Stable hex digest identifying the sparsity pattern of ``a``.
 
-    Hashes the shape plus ``indptr``/``indices`` contents (canonicalized
-    to little-endian int64 so the key is independent of the index dtype
-    the matrix happens to carry).  Values are deliberately excluded.
+    Hashes the shape plus ``indptr``/``indices`` contents, canonicalized
+    two ways so structurally identical matrices always collide: indices
+    are widened to little-endian int64 (independent of the index dtype
+    the matrix happens to carry) and explicitly stored zero entries are
+    stripped first (an explicit ``0.0`` is numerically equivalent to an
+    absent entry; see :func:`strip_explicit_zeros`).  Values are
+    deliberately excluded.
     """
+    a = strip_explicit_zeros(a)
     h = hashlib.blake2b(digest_size=16)
     h.update(np.int64(a.n_rows).tobytes())
     h.update(np.int64(a.n_cols).tobytes())
     h.update(np.ascontiguousarray(a.indptr, dtype="<i8").tobytes())
     h.update(np.ascontiguousarray(a.indices, dtype="<i8").tobytes())
+    return h.hexdigest()
+
+
+def family_key(a: CSRMatrix, hint: str | None = None) -> str:
+    """Digest naming the *pattern family* of ``a``.
+
+    Families group near-miss patterns — drifting variants of one
+    underlying circuit — so cache lookups that miss on the exact
+    :func:`pattern_key` can still find a donor analysis and pay only
+    the delta cost.  The caller supplies ``hint`` (a tenant/circuit
+    id); matrices with the same hint and shape share a family.  With no
+    hint the family is shape-only, which is safe for keying but too
+    coarse to *infer* relatedness — the serve and fleet layers only act
+    on families that were hinted explicitly.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(np.int64(a.n_rows).tobytes())
+    h.update(np.int64(a.n_cols).tobytes())
+    h.update((hint or "shape").encode("utf-8"))
     return h.hexdigest()
 
 
@@ -70,6 +131,11 @@ class AnalysisCache:
         self.capacity_bytes = int(capacity_bytes)
         self._entries: "OrderedDict[str, ReusableAnalysis]" = OrderedDict()
         self._sizes: dict[str, int] = {}
+        #: family digest -> resident member keys in insertion order
+        #: (an entry is indexed when its analysis carries a ``family``
+        #: tag; see :func:`family_key`)
+        self._families: dict[str, "OrderedDict[str, None]"] = {}
+        self._family_of: dict[str, str] = {}
         self.current_bytes = 0
         self.hits = 0
         self.misses = 0
@@ -103,6 +169,20 @@ class AnalysisCache:
         """Look up without touching recency or hit/miss counters."""
         return self._entries.get(key)
 
+    def family_members(self, family: str) -> list[str]:
+        """Resident keys tagged with ``family``, most recent first.
+
+        These are candidate *donor* analyses for an incremental splice:
+        a near-miss lookup that misses on the exact pattern key probes
+        them newest-first (drift makes recent members structurally
+        closest).  Probing is a host-side dictionary walk — no simulated
+        time is charged until a donor is actually spliced.
+        """
+        members = self._families.get(family)
+        if not members:
+            return []
+        return list(reversed(members))
+
     def put(self, key: str, analysis: ReusableAnalysis) -> list[str]:
         """Insert (or replace) ``key`` and return the keys evicted for it."""
         size = int(analysis.nbytes)
@@ -116,12 +196,17 @@ class AnalysisCache:
         while self.current_bytes + size > self.capacity_bytes and self._entries:
             old_key, _ = self._entries.popitem(last=False)
             self.current_bytes -= self._sizes.pop(old_key)
+            self._unindex_family(old_key)
             self.evictions += 1
             evicted.append(old_key)
         self._entries[key] = analysis
         self._sizes[key] = size
         self.current_bytes += size
         self.insertions += 1
+        family = getattr(analysis, "family", None)
+        if family is not None:
+            self._families.setdefault(family, OrderedDict())[key] = None
+            self._family_of[key] = family
         return evicted
 
     def invalidate(self, key: str) -> bool:
@@ -135,14 +220,26 @@ class AnalysisCache:
     def clear(self) -> None:
         self._entries.clear()
         self._sizes.clear()
+        self._families.clear()
+        self._family_of.clear()
         self.current_bytes = 0
 
     def _remove(self, key: str) -> bool:
         if key in self._entries:
             del self._entries[key]
             self.current_bytes -= self._sizes.pop(key)
+            self._unindex_family(key)
             return True
         return False
+
+    def _unindex_family(self, key: str) -> None:
+        family = self._family_of.pop(key, None)
+        if family is not None:
+            members = self._families.get(family)
+            if members is not None:
+                members.pop(key, None)
+                if not members:
+                    del self._families[family]
 
     # ------------------------------------------------------------------
     @property
@@ -154,6 +251,7 @@ class AnalysisCache:
         """Plain-dict counters for reports / :meth:`SolverService.stats`."""
         return {
             "entries": len(self._entries),
+            "families": len(self._families),
             "current_bytes": self.current_bytes,
             "capacity_bytes": self.capacity_bytes,
             "hits": self.hits,

@@ -31,6 +31,7 @@ __all__ = [
     "restamp",
     "zipf_weights",
     "synthesize_trace",
+    "synthesize_drift_trace",
     "replay",
     "cold_baseline_seconds",
     "run_load",
@@ -46,6 +47,9 @@ class TraceRequest:
     a: CSRMatrix
     b: np.ndarray
     gap: float = 0.0
+    #: pattern-family digest forwarded to ``submit`` (near-miss donor
+    #: lookups for drifting patterns); ``None`` = no family hint
+    family: str | None = None
 
 
 def restamp(pattern: CSRMatrix, seed: int) -> CSRMatrix:
@@ -150,6 +154,93 @@ def synthesize_trace(
     return trace
 
 
+def synthesize_drift_trace(
+    *,
+    num_families: int = 2,
+    num_requests: int = 60,
+    n: int = 400,
+    nnz_per_row: float = 7.0,
+    seed: int = 0,
+    arrival_gap: float = 0.0,
+    drift_every: int = 4,
+    drift_add: int = 3,
+    drift_remove: int = 0,
+    drift_bandwidth: int = 8,
+    reset_every: int = 0,
+    matrix_class: str = "circuit",
+) -> list[TraceRequest]:
+    """A drifting-pattern request stream (the incremental-reanalysis
+    workload).
+
+    Each *family* is one slowly-evolving circuit: requests rotate over
+    families round-robin, re-stamping values every event (the
+    per-timestep refresh of a simulator), and every ``drift_every``-th
+    visit to a family perturbs its sparsity pattern band-locally
+    (``drift_add`` insertions / ``drift_remove`` removals within
+    ``drift_bandwidth`` of the diagonal — see
+    :func:`~repro.workloads.perturb_pattern`).  Every event carries the
+    family's :func:`~repro.serve.cache.family_key` digest, so each
+    post-drift miss can splice the cached pre-drift analysis instead of
+    analyzing cold.
+
+    A positive ``reset_every`` additionally *re-bases* a family to a
+    fresh unrelated pattern every that-many visits — modelling topology
+    churn large enough that no donor is within the incremental budget,
+    which exercises the threshold fallback to the cold oracle.
+    ``matrix_class`` selects the base-pattern generator: ``"circuit"``
+    (irregular, heavy-tailed rows) or ``"fem"`` (banded symmetric, the
+    class where band-local drift stays most contained and splicing pays
+    off most).  Deterministic under ``seed``.
+    """
+    if num_families < 1 or num_requests < 1:
+        raise ValueError("need at least one family and one request")
+    if drift_every < 2:
+        raise ValueError("drift_every must be >= 2")
+    from ..workloads import fem_like, perturb_pattern
+    from .cache import family_key
+
+    generators = {"circuit": circuit_like, "fem": fem_like}
+    if matrix_class not in generators:
+        raise ValueError(
+            f"matrix_class must be one of {sorted(generators)}, "
+            f"got {matrix_class!r}"
+        )
+    base_of = generators[matrix_class]
+    rng = np.random.default_rng(seed)
+    current = [
+        base_of(n, nnz_per_row, seed=seed + 101 * f)
+        for f in range(num_families)
+    ]
+    families = [
+        family_key(current[f], hint=f"fam{f}")
+        for f in range(num_families)
+    ]
+    visits = [0] * num_families
+    trace: list[TraceRequest] = []
+    for i in range(num_requests):
+        f = i % num_families
+        visits[f] += 1
+        if reset_every and visits[f] % reset_every == 0:
+            current[f] = base_of(
+                n, nnz_per_row, seed=seed + 101 * f + 9973 * visits[f]
+            )
+        elif visits[f] % drift_every == 0:
+            current[f] = perturb_pattern(
+                current[f],
+                add=drift_add,
+                remove=drift_remove,
+                bandwidth=drift_bandwidth,
+                seed=seed + 31 * i,
+            )
+        a = restamp(current[f], seed=seed + 7919 * i)
+        b = rng.normal(size=n)
+        trace.append(TraceRequest(
+            pattern_id=f, a=a, b=b, gap=arrival_gap,
+            family=families[f],
+        ))
+    return trace
+
+
 @dataclass
 class LoadReport:
     """Outcome of one trace replay (all times are simulated seconds)."""
@@ -236,10 +327,10 @@ def replay(
         if event.gap:
             service.tick(event.gap)
         try:
-            service.submit(event.a, event.b)
+            service.submit(event.a, event.b, family=event.family)
         except QueueFullError:
             responses.extend(service.flush())
-            service.submit(event.a, event.b)
+            service.submit(event.a, event.b, family=event.family)
         if service.pending >= flush_every:
             responses.extend(service.flush())
     responses.extend(service.flush())

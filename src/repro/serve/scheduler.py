@@ -50,6 +50,11 @@ from typing import Callable
 import numpy as np
 
 from ..core.config import SolverConfig
+from ..core.incremental import (
+    IncrementalPolicy,
+    best_donor,
+    incremental_analyze_pre,
+)
 from ..core.refactorize import ReusableAnalysis, analyze
 from ..core.resilient import ResilientGPU, RetryPolicy
 from ..errors import (
@@ -66,7 +71,12 @@ from ..preprocess import preprocess
 from ..sparse import CSRMatrix
 from ..symbolic import symbolic_fill_reference
 from .breaker import BreakerConfig, CircuitBreaker
-from .cache import AnalysisCache, pattern_key, values_key
+from .cache import (
+    AnalysisCache,
+    pattern_key,
+    strip_explicit_zeros,
+    values_key,
+)
 from .metrics import ServiceMetrics
 
 __all__ = [
@@ -91,6 +101,9 @@ class SolveRequest:
     deadline: float | None = None
     #: was the pattern's analysis resident when this request was accepted?
     cached_at_submit: bool = False
+    #: explicit pattern-family digest (near-miss donor lookups); ``None``
+    #: disables incremental splicing for this request
+    family: str | None = None
 
 
 @dataclass
@@ -110,6 +123,8 @@ class SolveResponse:
     retried: bool = False
     #: served by the degraded CPU reference path (all devices down)
     fallback: bool = False
+    #: the analysis was spliced from a family donor instead of built cold
+    incremental: bool = False
     error: str | None = None
     deadline: float | None = None
 
@@ -209,6 +224,7 @@ class _Batch:
 
     key: str
     requests: list[SolveRequest] = field(default_factory=list)
+    family: str | None = None
 
     @property
     def earliest_arrival(self) -> float:
@@ -232,6 +248,7 @@ class BatchScheduler:
         cpu_fallback: bool = True,
         fault_plans: dict[int, FaultPlan] | None = None,
         placement: str = "affinity",
+        incremental: IncrementalPolicy | None = None,
     ) -> None:
         if max_queue_depth < 1:
             raise ValueError("max_queue_depth must be >= 1")
@@ -257,6 +274,10 @@ class BatchScheduler:
             max_attempts=2, base_delay_s=0.0
         )
         self.cpu_fallback = bool(cpu_fallback)
+        #: when a family-hinted pattern misses, splice its delta into a
+        #: resident family donor instead of analyzing cold (see
+        #: :class:`~repro.core.IncrementalPolicy`)
+        self.incremental = incremental or IncrementalPolicy()
         #: virtual timeline of the degraded CPU path
         self.cpu_busy_until = 0.0
         self._queue: list[SolveRequest] = []
@@ -285,12 +306,17 @@ class BatchScheduler:
         *,
         arrival: float,
         deadline: float | None = None,
+        family: str | None = None,
     ) -> SolveRequest:
         b = np.asarray(b, dtype=np.float64).reshape(-1)
         if b.shape[0] != a.n_rows:
             raise ValueError(
                 f"rhs length {b.shape[0]} != matrix rows {a.n_rows}"
             )
+        # canonicalize away explicitly stored zeros so the analyzed
+        # pattern is the one the key describes (an explicit 0.0 is
+        # numerically equivalent to an absent entry)
+        a = strip_explicit_zeros(a)
         key = pattern_key(a)
         return SolveRequest(
             request_id=request_id,
@@ -300,6 +326,7 @@ class BatchScheduler:
             arrival=arrival,
             deadline=deadline,
             cached_at_submit=key in self.cache,
+            family=family,
         )
 
     def submit(self, request: SolveRequest) -> None:
@@ -318,7 +345,10 @@ class BatchScheduler:
         before it."""
         batches: dict[str, _Batch] = {}
         for req in self._queue:
-            batches.setdefault(req.key, _Batch(key=req.key)).requests.append(req)
+            batch = batches.setdefault(req.key, _Batch(key=req.key))
+            batch.requests.append(req)
+            if batch.family is None:
+                batch.family = req.family
         self._queue.clear()
         responses: list[SolveResponse] = []
         # earliest-arrival-first over pattern groups keeps FIFO fairness
@@ -410,6 +440,52 @@ class BatchScheduler:
         self.metrics.charge("analysis", elapsed)
         return analysis, elapsed
 
+    def _incremental_on(
+        self, device: SimulatedDevice, batch: _Batch
+    ) -> tuple[ReusableAnalysis, float] | None:
+        """Try to splice the batch's pattern from a resident family donor.
+
+        Probes the family index newest-first (host-side, free in
+        simulated time) for a donor whose structural delta fits the
+        incremental policy budget; on success the delta splice runs on
+        ``device`` and its cost is charged to the ``analysis_delta``
+        metric.  Returns ``None`` — and counts a fallback when donors
+        existed — if no donor qualifies, leaving the cold path to the
+        caller.
+        """
+        policy = self.incremental
+        if not policy.enabled or batch.family is None:
+            return None
+        donors = [
+            d
+            for k in self.cache.family_members(batch.family)
+            if k != batch.key
+            and (d := self.cache.peek(k)) is not None
+        ]
+        if not donors:
+            return None
+        a = batch.requests[0].a
+        pre = preprocess(a, self.config.preprocess)
+        pick = best_donor(donors, pre.matrix, policy)
+        if pick is None:
+            # family members resident but every delta over threshold:
+            # the cold oracle runs instead
+            self.metrics.count("incremental_fallbacks")
+            return None
+        donor, delta = pick
+        t0 = device.gpu.ledger.total_seconds
+        analysis, report = incremental_analyze_pre(
+            donor, pre, delta, self.config, gpu=device.gpu
+        )
+        elapsed = device.gpu.ledger.total_seconds - t0
+        self.metrics.charge("analysis_delta", elapsed)
+        self.metrics.count("incremental_hits")
+        self.metrics.observe("delta_size", float(report.delta_size))
+        self.metrics.observe(
+            "rows_recomputed", float(report.rows_recomputed)
+        )
+        return analysis, elapsed
+
     def _dispatch_batch(
         self, batch: _Batch, now: float
     ) -> list[SolveResponse]:
@@ -471,6 +547,7 @@ class BatchScheduler:
         analysis = self.cache.get(batch.key)
         hit = analysis is not None
         retried = False
+        incremental = False
         if hit:
             # _device_for already routed the batch to the pattern's
             # affinity device when the analysis is resident
@@ -480,8 +557,16 @@ class BatchScheduler:
             if any(r.cached_at_submit for r in batch.requests):
                 # resident at submit, gone at dispatch: evicted in between
                 self.metrics.count("evicted_before_dispatch")
-            analysis, elapsed = self._analyze_on(device, batch.requests[0].a)
+            spliced = self._incremental_on(device, batch)
+            if spliced is not None:
+                analysis, elapsed = spliced
+                incremental = True
+            else:
+                analysis, elapsed = self._analyze_on(
+                    device, batch.requests[0].a
+                )
             t += elapsed
+            analysis.family = batch.family
             self._install(batch.key, analysis, device.device_id)
 
         # coalesce bit-identical value sets onto one refactorization each
@@ -500,7 +585,8 @@ class BatchScheduler:
                     self.metrics.count("timeouts")
                     self.metrics.count("shed")
                     responses.append(self._finish(
-                        r, "timeout", None, t, hit, device, size, retried))
+                        r, "timeout", None, t, hit, device, size, retried,
+                        incremental=incremental))
                 continue
             try:
                 result, numeric_s, retried_now = self._refactorize(
@@ -514,6 +600,7 @@ class BatchScheduler:
                     self.metrics.count("errors")
                     responses.append(self._finish(
                         r, "error", None, t, hit, device, size, retried,
+                        incremental=incremental,
                         error=f"{type(exc).__name__}: {exc}"))
                 continue
             if retried:
@@ -530,14 +617,15 @@ class BatchScheduler:
                 if r.deadline is not None and t > r.deadline:
                     self.metrics.count("timeouts")
                     responses.append(self._finish(
-                        r, "timeout", None, t, hit, device, size, retried))
+                        r, "timeout", None, t, hit, device, size, retried,
+                        incremental=incremental))
                     continue
                 if i > 0:
                     self.metrics.count("coalesced")
                 self.metrics.count("completed")
                 responses.append(self._finish(
                     r, "ok", x, t, hit, device, size, retried,
-                    coalesced=i > 0))
+                    coalesced=i > 0, incremental=incremental))
         device.busy_until = t
         return responses
 
@@ -564,6 +652,7 @@ class BatchScheduler:
                 self.metrics.count("retries")
                 backoff += policy.delay(attempt)
                 analysis, _ = self._analyze_on(device, a)
+                analysis.family = batch.family
                 self._install(batch.key, analysis, device.device_id)
                 retried = True
         numeric_s = device.gpu.ledger.total_seconds - t0 + backoff
@@ -670,7 +759,7 @@ class BatchScheduler:
 
     def _finish(
         self, req, status, x, t, hit, device, size, retried, *,
-        coalesced=False, fallback=False, error=None,
+        coalesced=False, fallback=False, incremental=False, error=None,
     ) -> SolveResponse:
         latency = t - req.arrival
         self.metrics.observe("latency", latency)
@@ -688,6 +777,7 @@ class BatchScheduler:
             coalesced=coalesced,
             retried=retried,
             fallback=fallback,
+            incremental=incremental,
             error=error,
             deadline=req.deadline,
         )

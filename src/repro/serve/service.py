@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.config import SolverConfig
+from ..core.incremental import IncrementalPolicy
 from ..core.resilient import RetryPolicy
 from ..errors import ServiceShutdownError
 from ..gpusim import FaultPlan
@@ -71,6 +72,11 @@ class ServeConfig:
     #: analyses on distinct devices); hot patterns always follow their
     #: cached affinity either way
     placement: str = "affinity"
+    #: when a family-hinted pattern misses the exact-key cache, splice
+    #: its delta into a resident family donor instead of analyzing cold
+    incremental: IncrementalPolicy = field(
+        default_factory=IncrementalPolicy
+    )
 
     def __post_init__(self) -> None:
         if self.num_devices < 1:
@@ -113,6 +119,7 @@ class SolverService:
             cpu_fallback=self.config.cpu_fallback,
             fault_plans=self.config.fault_plans,
             placement=self.config.placement,
+            incremental=self.config.incremental,
         )
         self._clock = 0.0
         self._next_id = 0
@@ -169,12 +176,16 @@ class SolverService:
         *,
         deadline: float | None = None,
         timeout: float | None = None,
+        family: str | None = None,
     ) -> int:
         """Enqueue ``A x = b``; returns the request id.
 
         ``deadline`` is absolute virtual time; ``timeout`` is relative to
         now (at most one may be given).  With neither, the service's
-        ``default_timeout`` applies (if configured).  Raises
+        ``default_timeout`` applies (if configured).  ``family`` is an
+        optional pattern-family digest (see
+        :func:`~repro.serve.cache.family_key`) enabling incremental
+        re-analysis from a cached near-miss donor.  Raises
         :class:`QueueFullError` when the bounded queue is at capacity and
         :class:`ServiceShutdownError` after :meth:`shutdown`.
         """
@@ -186,7 +197,8 @@ class SolverService:
         elif deadline is None and self.config.default_timeout is not None:
             deadline = self._clock + self.config.default_timeout
         request = self.scheduler.make_request(
-            self._next_id, a, b, arrival=self._clock, deadline=deadline
+            self._next_id, a, b, arrival=self._clock, deadline=deadline,
+            family=family,
         )
         self.scheduler.submit(request)  # may raise QueueFullError
         self._next_id += 1
@@ -223,13 +235,16 @@ class SolverService:
         *,
         deadline: float | None = None,
         timeout: float | None = None,
+        family: str | None = None,
     ) -> SolveResponse:
         """Submit one request and flush immediately.
 
         Requests already queued by earlier ``submit`` calls are flushed
         (and batched) together with this one.
         """
-        rid = self.submit(a, b, deadline=deadline, timeout=timeout)
+        rid = self.submit(
+            a, b, deadline=deadline, timeout=timeout, family=family
+        )
         self.flush()
         return self._responses[rid]
 

@@ -6,9 +6,19 @@
   C-speed) plus a brute-force Theorem 1 oracle for tests.
 * :mod:`~repro.symbolic.stats` — vectorized traversal-cost and frontier
   statistics (Figure 3, Algorithm 4's split point).
+* :mod:`~repro.symbolic.incremental` — structural delta algebra and
+  incremental re-fill: splice a small pattern edit into a donor filled
+  pattern, recomputing only the affected rows.
 """
 
 from .fill2 import Fill2RowResult, fill2_pattern, fill2_row, fill2_rows
+from .incremental import (
+    IncrementalFillResult,
+    PatternDelta,
+    apply_delta,
+    compute_delta,
+    incremental_fill,
+)
 from .reference import (
     symbolic_fill_bitsets,
     symbolic_fill_reference,
@@ -28,6 +38,11 @@ from .stats import (
 
 __all__ = [
     "Fill2RowResult",
+    "IncrementalFillResult",
+    "PatternDelta",
+    "apply_delta",
+    "compute_delta",
+    "incremental_fill",
     "fill2_row",
     "fill2_rows",
     "fill2_pattern",

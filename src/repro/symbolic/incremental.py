@@ -1,0 +1,376 @@
+"""Incremental symbolic re-analysis for small structural deltas.
+
+Real circuit traffic *drifts*: device-model switches and topology edits
+add or remove a handful of nonzeros between factorizations rather than
+repeating the pattern exactly.  A full cold symbolic pass over a
+perturbed pattern repeats almost all of the fill2 fixpoint work, because
+the row-merge elimination of :func:`~repro.symbolic.symbolic_fill_bitsets`
+only changes where the perturbation (or fill it induces) actually
+reaches.
+
+This module computes exactly that reachable set.  Given a donor filled
+pattern and a :class:`PatternDelta` (nonzeros added/removed), the
+ascending row sweep re-runs the fixpoint only for rows that either had
+their ``A``-structure edited or merge the strict-upper part of a row
+whose filled structure changed (tracked in a dirty bitset).  Every other
+row provably reproduces its old fixpoint — all of its inputs (its
+``A``-row and every ``upper_strict[t]`` it merges) are unchanged — so
+its filled row is spliced through untouched.  The result is bitwise
+identical to a cold :func:`~repro.symbolic.symbolic_fill_reference` of
+the perturbed pattern; the differential tests assert this across the
+whole workload registry.
+
+The delta algebra (:func:`compute_delta` / :func:`apply_delta` /
+:meth:`PatternDelta.invert`) is exact: applying a delta and then its
+inverse returns the original matrix bit for bit, including values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sparse import CSRMatrix
+from ..sparse.ranges import concat_ranges
+from ..sparse.types import INDEX_DTYPE
+from .reference import _all_row_bits, _bitsets_to_bitmap
+
+__all__ = [
+    "PatternDelta",
+    "IncrementalFillResult",
+    "compute_delta",
+    "apply_delta",
+    "incremental_fill",
+]
+
+
+def _flat_keys(a: CSRMatrix) -> np.ndarray:
+    """Row-major flat positions ``row * n_cols + col`` (sorted ascending,
+    because CSR stores rows in order with sorted column indices)."""
+    return (
+        a.row_ids_of_entries().astype(np.int64) * a.n_cols
+        + a.indices.astype(np.int64)
+    )
+
+
+@dataclass(frozen=True)
+class PatternDelta:
+    """A structural edit: entries added to and removed from a matrix.
+
+    Added entries carry the values they take in the perturbed matrix;
+    removed entries carry the values they had in the original, so
+    :meth:`invert` restores the original bit for bit.  The arrays are
+    parallel (``added_rows[k], added_cols[k], added_vals[k]`` describe
+    one added entry) and need not be sorted.
+    """
+
+    n_rows: int
+    n_cols: int
+    added_rows: np.ndarray
+    added_cols: np.ndarray
+    added_vals: np.ndarray
+    removed_rows: np.ndarray
+    removed_cols: np.ndarray
+    removed_vals: np.ndarray
+
+    @property
+    def size(self) -> int:
+        """Number of structural edits (additions plus removals)."""
+        return len(self.added_rows) + len(self.removed_rows)
+
+    @property
+    def touched_rows(self) -> np.ndarray:
+        """Sorted unique rows whose ``A``-structure this delta edits."""
+        return np.unique(
+            np.concatenate(
+                [
+                    np.asarray(self.added_rows, dtype=np.int64),
+                    np.asarray(self.removed_rows, dtype=np.int64),
+                ]
+            )
+        ).astype(INDEX_DTYPE)
+
+    def invert(self) -> "PatternDelta":
+        """The exact inverse edit: swaps the added and removed sets."""
+        return PatternDelta(
+            n_rows=self.n_rows,
+            n_cols=self.n_cols,
+            added_rows=self.removed_rows,
+            added_cols=self.removed_cols,
+            added_vals=self.removed_vals,
+            removed_rows=self.added_rows,
+            removed_cols=self.added_cols,
+            removed_vals=self.added_vals,
+        )
+
+
+def compute_delta(old: CSRMatrix, new: CSRMatrix) -> PatternDelta:
+    """The structural delta taking ``old``'s pattern to ``new``'s.
+
+    Only *structural* differences are recorded: entries present in both
+    matrices keep whatever values ``new`` carries and do not appear in
+    the delta.  Raises :class:`ValueError` on a shape mismatch.
+    """
+    if old.shape != new.shape:
+        raise ValueError(
+            f"delta requires matching shapes, got {old.shape} vs {new.shape}"
+        )
+    n = old.n_cols
+    keys_old = _flat_keys(old)
+    keys_new = _flat_keys(new)
+    added = np.setdiff1d(keys_new, keys_old, assume_unique=True)
+    removed = np.setdiff1d(keys_old, keys_new, assume_unique=True)
+    return PatternDelta(
+        n_rows=old.n_rows,
+        n_cols=n,
+        added_rows=(added // n).astype(INDEX_DTYPE),
+        added_cols=(added % n).astype(INDEX_DTYPE),
+        added_vals=new.data[np.searchsorted(keys_new, added)].copy(),
+        removed_rows=(removed // n).astype(INDEX_DTYPE),
+        removed_cols=(removed % n).astype(INDEX_DTYPE),
+        removed_vals=old.data[np.searchsorted(keys_old, removed)].copy(),
+    )
+
+
+def _checked_keys(
+    rows: np.ndarray, cols: np.ndarray, n_rows: int, n_cols: int, what: str
+) -> tuple[np.ndarray, np.ndarray]:
+    rows64 = np.asarray(rows, dtype=np.int64)
+    cols64 = np.asarray(cols, dtype=np.int64)
+    if len(rows64) != len(cols64):
+        raise ValueError(f"{what} rows/cols length mismatch")
+    if len(rows64) and (
+        rows64.min() < 0
+        or rows64.max() >= n_rows
+        or cols64.min() < 0
+        or cols64.max() >= n_cols
+    ):
+        raise ValueError(f"{what} entry out of bounds")
+    keys = rows64 * n_cols + cols64
+    order = np.argsort(keys, kind="stable")
+    keys = keys[order]
+    if len(keys) > 1 and (np.diff(keys) == 0).any():
+        raise ValueError(f"duplicate {what} entry in delta")
+    return keys, order
+
+
+def apply_delta(a: CSRMatrix, delta: PatternDelta) -> CSRMatrix:
+    """Apply ``delta`` to ``a``, returning the perturbed matrix.
+
+    Strict by construction: every removed entry must be present in ``a``
+    and every added entry absent, so ``apply_delta(apply_delta(a, d),
+    d.invert())`` round-trips to ``a`` exactly (indices *and* values).
+    """
+    if (a.n_rows, a.n_cols) != (delta.n_rows, delta.n_cols):
+        raise ValueError("delta shape does not match matrix shape")
+    n = a.n_cols
+    keys = _flat_keys(a)
+    rem, rem_order = _checked_keys(
+        delta.removed_rows, delta.removed_cols, a.n_rows, n, "removed"
+    )
+    add, add_order = _checked_keys(
+        delta.added_rows, delta.added_cols, a.n_rows, n, "added"
+    )
+    add_vals = np.asarray(delta.added_vals)[add_order]
+
+    pos = np.searchsorted(keys, rem)
+    in_bounds = pos < len(keys)
+    present = np.zeros(len(rem), dtype=bool)
+    present[in_bounds] = keys[pos[in_bounds]] == rem[in_bounds]
+    if not present.all():
+        raise ValueError("delta removes an entry not present in the matrix")
+    pos_a = np.searchsorted(keys, add)
+    in_bounds = pos_a < len(keys)
+    clash = np.zeros(len(add), dtype=bool)
+    clash[in_bounds] = keys[pos_a[in_bounds]] == add[in_bounds]
+    if clash.any():
+        raise ValueError("delta adds an entry already present in the matrix")
+
+    keep = np.ones(len(keys), dtype=bool)
+    keep[pos] = False
+    new_keys = np.concatenate([keys[keep], add])
+    new_vals = np.concatenate(
+        [a.data[keep], np.asarray(add_vals, dtype=a.data.dtype)]
+    )
+    order = np.argsort(new_keys, kind="stable")
+    new_keys = new_keys[order]
+    counts = np.bincount(new_keys // n, minlength=a.n_rows).astype(
+        INDEX_DTYPE
+    )
+    indptr = np.zeros(a.n_rows + 1, dtype=INDEX_DTYPE)
+    np.cumsum(counts, out=indptr[1:])
+    return CSRMatrix(
+        a.n_rows,
+        a.n_cols,
+        indptr,
+        (new_keys % n).astype(INDEX_DTYPE),
+        new_vals[order],
+        check=False,
+    )
+
+
+@dataclass
+class IncrementalFillResult:
+    """Spliced filled pattern plus the affected-row record.
+
+    ``rows_recomputed`` are the rows whose fill2 fixpoint was re-run
+    (the simulated kernels are charged for exactly these);
+    ``rows_changed`` is the subset whose filled structure actually
+    differs from the donor (only these need downloading and graph/
+    schedule repair).  ``bitrows`` carries the new filled bitsets so a
+    chain of deltas can keep splicing without re-deriving them.
+    """
+
+    filled: CSRMatrix
+    rows_recomputed: np.ndarray
+    rows_changed: np.ndarray
+    bitrows: list[int]
+
+
+def incremental_fill(
+    new_a: CSRMatrix,
+    old_filled: CSRMatrix,
+    delta: PatternDelta,
+    *,
+    old_bitrows: list[int] | None = None,
+) -> IncrementalFillResult:
+    """Splice ``delta``'s effect on the fill into a donor filled pattern.
+
+    ``new_a`` is the perturbed matrix (donor pattern with ``delta``
+    applied); ``old_filled`` is the donor's filled ``L+U`` pattern.  The
+    ascending row-merge sweep re-runs the fixpoint only for *dirty*
+    rows: those whose ``A``-row the delta edits, plus those merging an
+    ``upper_strict`` that lost bits or gained bits outside the row's
+    old structure (gains the row already contains cannot move its
+    fixpoint — the saturation that makes drift cheap on banded
+    patterns).  Clean rows are copied through.  Returns a filled
+    matrix bitwise identical to ``symbolic_fill_reference(new_a)``.
+    """
+    n = new_a.n_rows
+    if old_filled.n_rows != n or old_filled.n_cols != new_a.n_cols:
+        raise ValueError("donor filled pattern shape mismatch")
+    old_bits = (
+        _all_row_bits(old_filled) if old_bitrows is None else old_bitrows
+    )
+    if len(old_bits) != n:
+        raise ValueError("donor bitset count does not match matrix size")
+    row_bits = _all_row_bits(new_a)
+    dirty_a = np.zeros(n, dtype=bool)
+    touched = delta.touched_rows
+    dirty_a[touched] = True
+
+    # upper[t] = filled row t restricted to columns > t; starts as the
+    # donor's and is overwritten as recomputed rows change
+    upper = [(b >> (i + 1)) << (i + 1) for i, b in enumerate(old_bits)]
+    dirty_mask = 0  # bitset of rows whose upper-strict part changed
+    added_xor: dict[int, int] = {}  # bits upper[t] gained
+    removed_xor: dict[int, int] = {}  # bits upper[t] lost
+    new_bits: list[int] = []
+    recomputed: list[int] = []
+    changed: list[int] = []
+    for i in range(n):
+        old_row = old_bits[i]
+        must = bool(dirty_a[i])
+        if not must:
+            # The old fixpoint visited exactly the thresholds in
+            # old_row's below-diagonal bits (the sweep is ascending, so
+            # dirty_mask already covers every t < i).  The row must be
+            # re-run only if some merged upper_strict[t] *lost* bits
+            # (anything t contributed might vanish) or *gained* bits
+            # outside the row's old structure (the fixpoint would
+            # grow).  Gains the row already contains are absorbed:
+            # merging them changes nothing, and the growing structure
+            # stays inside the old result, so no new thresholds appear.
+            inter = old_row & dirty_mask
+            while inter:
+                lsb = inter & -inter
+                t = lsb.bit_length() - 1
+                inter ^= lsb
+                gained = added_xor.get(t, 0)
+                if removed_xor.get(t) or (gained & ~old_row):
+                    must = True
+                    break
+        if not must:
+            new_bits.append(old_row)
+            continue
+        recomputed.append(i)
+        row = row_bits[i] | (1 << i)
+        below = (1 << i) - 1
+        processed = 0
+        while True:
+            cand = row & below & ~processed
+            if not cand:
+                break
+            t = (cand & -cand).bit_length() - 1
+            processed |= 1 << t
+            row |= upper[t]
+        new_bits.append(row)
+        if row != old_row:
+            changed.append(i)
+            new_upper = (row >> (i + 1)) << (i + 1)
+            old_upper = upper[i]
+            if new_upper != old_upper:
+                upper[i] = new_upper
+                dirty_mask |= 1 << i
+                added_xor[i] = new_upper & ~old_upper
+                removed_xor[i] = old_upper & ~new_upper
+
+    rows_changed = np.asarray(changed, dtype=INDEX_DTYPE)
+    filled = _splice_filled(new_a, old_filled, new_bits, rows_changed)
+    return IncrementalFillResult(
+        filled=filled,
+        rows_recomputed=np.asarray(recomputed, dtype=INDEX_DTYPE),
+        rows_changed=rows_changed,
+        bitrows=new_bits,
+    )
+
+
+def _splice_filled(
+    new_a: CSRMatrix,
+    old_filled: CSRMatrix,
+    new_bits: list[int],
+    rows_changed: np.ndarray,
+) -> CSRMatrix:
+    """Materialize the spliced filled CSR (bitwise equal to a cold one).
+
+    Unchanged rows bulk-copy their index ranges from the donor; changed
+    rows unpack from their new bitsets.  Values are re-scattered from
+    ``new_a`` over a zero array exactly like the cold materialization,
+    so the data array matches bit for bit as well.
+    """
+    n = new_a.n_rows
+    counts = old_filled.row_nnz().astype(INDEX_DTYPE)
+    if len(rows_changed):
+        counts[rows_changed] = np.asarray(
+            [new_bits[int(i)].bit_count() for i in rows_changed],
+            dtype=INDEX_DTYPE,
+        )
+    indptr = np.zeros(n + 1, dtype=INDEX_DTYPE)
+    np.cumsum(counts, out=indptr[1:])
+    nnz = int(indptr[-1])
+    indices = np.empty(nnz, dtype=INDEX_DTYPE)
+
+    unchanged = np.ones(n, dtype=bool)
+    unchanged[rows_changed] = False
+    rows_same = np.flatnonzero(unchanged).astype(INDEX_DTYPE)
+    if len(rows_same):
+        lens = counts[rows_same]
+        src = concat_ranges(old_filled.indptr[rows_same], lens)
+        dst = concat_ranges(indptr[rows_same], lens)
+        indices[dst] = old_filled.indices[src]
+    if len(rows_changed):
+        bitmap = _bitsets_to_bitmap(
+            [new_bits[int(i)] for i in rows_changed], n
+        )
+        flat = np.flatnonzero(bitmap.reshape(-1))
+        dst = concat_ranges(indptr[rows_changed], counts[rows_changed])
+        indices[dst] = (flat % n).astype(INDEX_DTYPE)
+
+    data = np.zeros(nnz, dtype=new_a.data.dtype)
+    filled_keys = (
+        np.repeat(np.arange(n, dtype=np.int64), counts) * n
+        + indices.astype(np.int64)
+    )
+    data[np.searchsorted(filled_keys, _flat_keys(new_a))] = new_a.data
+    return CSRMatrix(n, new_a.n_cols, indptr, indices, data, check=False)

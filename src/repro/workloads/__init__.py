@@ -6,6 +6,7 @@ from .generators import (
     dense_random,
     fem_like,
     mesh_like,
+    perturb_pattern,
     powerlaw_like,
     tridiagonal,
 )
@@ -24,6 +25,7 @@ __all__ = [
     "circuit_like",
     "fem_like",
     "mesh_like",
+    "perturb_pattern",
     "powerlaw_like",
     "tridiagonal",
     "arrow_matrix",

@@ -318,3 +318,85 @@ def powerlaw_like(
     rows = np.concatenate([others, hubs]).astype(INDEX_DTYPE)
     cols = np.concatenate([hubs, others]).astype(INDEX_DTYPE)
     return _finalize(n, rows, cols, rng)
+
+
+def perturb_pattern(
+    a: CSRMatrix,
+    *,
+    add: int,
+    remove: int = 0,
+    bandwidth: int = 8,
+    seed: int = 0,
+) -> CSRMatrix:
+    """``a`` with a small band-local structural drift applied.
+
+    Models a drifting circuit pattern: ``add`` new off-diagonal entries
+    are inserted within ``bandwidth`` of the diagonal and ``remove``
+    existing off-diagonal entries are dropped.  Added values are drawn
+    uniform in ``(-1, 1)`` and scaled down by the number of additions
+    landing in the same row, so the ``_finalize`` dominance margin
+    (diagonal = off-diagonal row sum + 1) survives any drift sequence:
+    each perturbed row gains strictly less than 1 in absolute sum, and
+    removals only widen the margin.  Deterministic under ``seed``;
+    untouched entries (pattern *and* values) are preserved bitwise.
+    """
+    from ..symbolic.incremental import PatternDelta, apply_delta
+
+    if add < 0 or remove < 0:
+        raise ValueError("add and remove must be >= 0")
+    if bandwidth < 1:
+        raise ValueError("bandwidth must be >= 1")
+    n = a.n_rows
+    rng = np.random.default_rng(seed)
+    row_ids = a.row_ids_of_entries()
+    existing = set(zip(row_ids.tolist(), a.indices.tolist()))
+
+    add_rows: list[int] = []
+    add_cols: list[int] = []
+    chosen: set[tuple[int, int]] = set()
+    attempts = 0
+    while len(add_rows) < add:
+        attempts += 1
+        if attempts > 200 * max(add, 1):
+            raise ValueError(
+                f"could not place {add} additions within bandwidth "
+                f"{bandwidth} (band saturated)"
+            )
+        i = int(rng.integers(0, n))
+        off = int(rng.integers(1, bandwidth + 1))
+        if rng.random() < 0.5:
+            off = -off
+        j = i + off
+        if not (0 <= j < n):
+            continue
+        if (i, j) in existing or (i, j) in chosen:
+            continue
+        chosen.add((i, j))
+        add_rows.append(i)
+        add_cols.append(j)
+    arows = np.asarray(add_rows, dtype=np.int64)
+    acols = np.asarray(add_cols, dtype=np.int64)
+    avals = rng.uniform(-1.0, 1.0, size=add)
+    if add:
+        per_row = np.bincount(arows, minlength=n)[arows]
+        avals = avals / per_row
+
+    offdiag = np.flatnonzero(row_ids != a.indices)
+    if remove > len(offdiag):
+        raise ValueError(
+            f"cannot remove {remove} of {len(offdiag)} off-diagonals"
+        )
+    picked = rng.choice(offdiag, size=remove, replace=False)
+    picked.sort()
+
+    delta = PatternDelta(
+        n_rows=n,
+        n_cols=a.n_cols,
+        added_rows=arows,
+        added_cols=acols,
+        added_vals=avals,
+        removed_rows=row_ids[picked].astype(np.int64),
+        removed_cols=a.indices[picked].astype(np.int64),
+        removed_vals=a.data[picked],
+    )
+    return apply_delta(a, delta)
