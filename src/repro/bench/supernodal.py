@@ -1,0 +1,288 @@
+"""Supernodal bench: blocked panel schedule vs the per-column oracle.
+
+The measurement harness behind ``repro supernodal-bench`` and the
+``supernodal/e2e`` perf scenario.  It factorizes one FEM-class and one
+circuit-class registry instance twice each — once on the scattered
+per-column numeric path, once on the supernodal panel schedule
+(:mod:`repro.numeric.supernodal`) — and compares.  The two runs consume
+the *identical* matrix object, so the only degree of freedom is the
+numeric-path knob: every measured delta is pure scheduling, and the
+bitwise comparison is exact.
+
+Four gates, asserted by the CLI exit status and the perf baseline:
+
+* **FEM time** — the FEM instance's simulated ``numeric`` phase shrinks
+  by at least :data:`GATE_FEM_TIME_RATIO` (§5's dense-block efficiency
+  claim: FEM fill forms wide panels that run as a few saturated
+  BLAS-3-style kernels);
+* **FEM launches** — the FEM instance issues at least
+  :data:`GATE_FEM_LAUNCH_RATIO` times fewer numeric kernel launches
+  (panels collapse whole dependency levels into three kernels per wave);
+* **circuit split** — the circuit instance's partition stays mostly
+  singleton (fraction of size-1 panels at least
+  :data:`GATE_CIRCUIT_SINGLETON_FRACTION`): irregular circuit fill has
+  no dense panels to find, so the supernodal path degenerates to the
+  per-column schedule rather than inventing bogus blocks;
+* **bitwise** — ``L``/``U`` patterns and values from both paths are
+  bitwise-identical on both instances (the per-column kernel is the
+  differential oracle; panels move *time*, never numerics).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import SolverConfig
+from ..core.pipeline import EndToEndResult
+from ..core.solver import factorize
+from ..workloads import by_abbr
+
+__all__ = [
+    "GATE_FEM_TIME_RATIO",
+    "GATE_FEM_LAUNCH_RATIO",
+    "GATE_CIRCUIT_SINGLETON_FRACTION",
+    "SupernodalReport",
+    "run_supernodal_bench",
+    "format_supernodal_report",
+    "run_supernodal_bench_cli",
+]
+
+#: minimum off/on simulated ``numeric``-phase time ratio on the FEM instance
+GATE_FEM_TIME_RATIO = 1.5
+
+#: minimum off/on numeric-kernel-launch ratio on the FEM instance
+GATE_FEM_LAUNCH_RATIO = 5.0
+
+#: minimum fraction of size-1 panels in the circuit instance's partition
+GATE_CIRCUIT_SINGLETON_FRACTION = 0.6
+
+#: registry instances measured (one per matrix class the gates split on)
+FEM_ABBR = "CR2"
+CIRCUIT_ABBR = "OT2"
+
+
+@dataclass
+class SupernodalReport:
+    """Outcome of one on/off factorization pair (simulated seconds)."""
+
+    n: int
+    fem_abbr: str
+    circuit_abbr: str
+    #: simulated ``numeric``-phase seconds, per-column path
+    fem_numeric_seconds_off: float
+    #: simulated ``numeric``-phase seconds, supernodal path
+    fem_numeric_seconds_on: float
+    fem_launches_off: int
+    fem_launches_on: int
+    fem_panels: int
+    fem_singleton_panels: int
+    fem_panel_waves: int
+    fem_panel_coverage: float
+    circuit_numeric_seconds_off: float
+    circuit_numeric_seconds_on: float
+    circuit_launches_off: int
+    circuit_launches_on: int
+    circuit_panels: int
+    circuit_singleton_panels: int
+    bitwise_checked: int
+    bitwise_mismatches: int
+
+    # -- derived ---------------------------------------------------------
+    @property
+    def fem_time_ratio(self) -> float:
+        if self.fem_numeric_seconds_on <= 0:
+            return 0.0
+        return self.fem_numeric_seconds_off / self.fem_numeric_seconds_on
+
+    @property
+    def fem_launch_ratio(self) -> float:
+        if self.fem_launches_on <= 0:
+            return 0.0
+        return self.fem_launches_off / self.fem_launches_on
+
+    @property
+    def circuit_singleton_fraction(self) -> float:
+        if self.circuit_panels <= 0:
+            return 0.0
+        return self.circuit_singleton_panels / self.circuit_panels
+
+    @property
+    def fem_time_ok(self) -> bool:
+        return self.fem_time_ratio >= GATE_FEM_TIME_RATIO
+
+    @property
+    def fem_launch_ok(self) -> bool:
+        return self.fem_launch_ratio >= GATE_FEM_LAUNCH_RATIO
+
+    @property
+    def circuit_ok(self) -> bool:
+        return (
+            self.circuit_singleton_fraction
+            >= GATE_CIRCUIT_SINGLETON_FRACTION
+        )
+
+    @property
+    def bitwise_ok(self) -> bool:
+        return self.bitwise_checked > 0 and self.bitwise_mismatches == 0
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.fem_time_ok
+            and self.fem_launch_ok
+            and self.circuit_ok
+            and self.bitwise_ok
+        )
+
+    # -- export ----------------------------------------------------------
+    def perf_record(self) -> dict:
+        """Exact counters + banded timings for the perf-snapshot suite
+        (shape of every other ``perf_record`` hook)."""
+        counters = {
+            "n": int(self.n),
+            "fem_launches_off": int(self.fem_launches_off),
+            "fem_launches_on": int(self.fem_launches_on),
+            "fem_panels": int(self.fem_panels),
+            "fem_singleton_panels": int(self.fem_singleton_panels),
+            "fem_panel_waves": int(self.fem_panel_waves),
+            "circuit_launches_off": int(self.circuit_launches_off),
+            "circuit_launches_on": int(self.circuit_launches_on),
+            "circuit_panels": int(self.circuit_panels),
+            "circuit_singleton_panels": int(self.circuit_singleton_panels),
+            "bitwise_checked": int(self.bitwise_checked),
+            "bitwise_mismatches": int(self.bitwise_mismatches),
+        }
+        timings = {
+            "fem_numeric_seconds_off": float(self.fem_numeric_seconds_off),
+            "fem_numeric_seconds_on": float(self.fem_numeric_seconds_on),
+            "fem_time_ratio": float(self.fem_time_ratio),
+            "fem_launch_ratio": float(self.fem_launch_ratio),
+            "circuit_numeric_seconds_off": float(
+                self.circuit_numeric_seconds_off
+            ),
+            "circuit_numeric_seconds_on": float(
+                self.circuit_numeric_seconds_on
+            ),
+            "fem_panel_coverage": float(self.fem_panel_coverage),
+            "circuit_singleton_fraction": float(
+                self.circuit_singleton_fraction
+            ),
+        }
+        labels = {
+            "fem_abbr": self.fem_abbr,
+            "circuit_abbr": self.circuit_abbr,
+            "fem_time_ok": str(self.fem_time_ok).lower(),
+            "fem_launch_ok": str(self.fem_launch_ok).lower(),
+            "circuit_ok": str(self.circuit_ok).lower(),
+            "bitwise_ok": str(self.bitwise_ok).lower(),
+            "passed": str(self.passed).lower(),
+        }
+        return {"counters": counters, "timings": timings, "labels": labels}
+
+
+def _factor_pair(
+    abbr: str, *, n: int, seed: int
+) -> tuple[EndToEndResult, EndToEndResult, int]:
+    """Factorize one registry instance on both numeric paths.
+
+    Returns ``(off, on, mismatches)`` where ``mismatches`` counts factor
+    arrays (pattern, ``L``/``U`` structure and values) that differ.
+    """
+    spec = dataclasses.replace(
+        by_abbr(abbr), n_scaled=n, seed=by_abbr(abbr).seed + seed
+    )
+    a = spec.generate()
+    off = factorize(a, SolverConfig(), supernodal=False)
+    on = factorize(a, SolverConfig(), supernodal=True)
+    mismatches = 0
+    pairs = [
+        (off.filled.indptr, on.filled.indptr),
+        (off.filled.indices, on.filled.indices),
+        (off.L.indptr, on.L.indptr),
+        (off.L.indices, on.L.indices),
+        (off.L.data, on.L.data),
+        (off.U.indptr, on.U.indptr),
+        (off.U.indices, on.U.indices),
+        (off.U.data, on.U.data),
+    ]
+    for ref, got in pairs:
+        if not np.array_equal(ref, got):
+            mismatches += 1
+    return off, on, mismatches
+
+
+def run_supernodal_bench(
+    *, smoke: bool = False, seed: int = 0
+) -> SupernodalReport:
+    """Factorize the FEM/circuit pair with panels on vs off and compare."""
+    n = 96 if smoke else 160
+    fem_off, fem_on, fem_bad = _factor_pair(FEM_ABBR, n=n, seed=seed)
+    cir_off, cir_on, cir_bad = _factor_pair(CIRCUIT_ABBR, n=n, seed=seed)
+
+    def launches(res: EndToEndResult) -> int:
+        return res.gpu.ledger.get_count("numeric_kernel_launches")
+
+    return SupernodalReport(
+        n=n,
+        fem_abbr=FEM_ABBR,
+        circuit_abbr=CIRCUIT_ABBR,
+        fem_numeric_seconds_off=fem_off.gpu.ledger.seconds("numeric"),
+        fem_numeric_seconds_on=fem_on.gpu.ledger.seconds("numeric"),
+        fem_launches_off=launches(fem_off),
+        fem_launches_on=launches(fem_on),
+        fem_panels=fem_on.numeric.panels,
+        fem_singleton_panels=fem_on.numeric.singleton_panels,
+        fem_panel_waves=fem_on.numeric.panel_waves,
+        fem_panel_coverage=fem_on.numeric.panel_coverage,
+        circuit_numeric_seconds_off=cir_off.gpu.ledger.seconds("numeric"),
+        circuit_numeric_seconds_on=cir_on.gpu.ledger.seconds("numeric"),
+        circuit_launches_off=launches(cir_off),
+        circuit_launches_on=launches(cir_on),
+        circuit_panels=cir_on.numeric.panels,
+        circuit_singleton_panels=cir_on.numeric.singleton_panels,
+        bitwise_checked=16,  # 8 factor arrays per instance, 2 instances
+        bitwise_mismatches=fem_bad + cir_bad,
+    )
+
+
+def format_supernodal_report(report: SupernodalReport) -> str:
+    def verdict(ok: bool) -> str:
+        return "ok" if ok else "FAIL"
+
+    lines = [
+        f"supernodal bench: {report.fem_abbr} (fem) + "
+        f"{report.circuit_abbr} (circuit) at n={report.n}, "
+        f"per-column oracle vs panel schedule",
+        f"  {report.fem_abbr}: {report.fem_panels} panels "
+        f"({report.fem_singleton_panels} singleton, coverage "
+        f"{report.fem_panel_coverage:.2f}) in "
+        f"{report.fem_panel_waves} waves",
+        f"  [{verdict(report.fem_time_ok):>4s}] fem numeric time "
+        f"{report.fem_numeric_seconds_off * 1e6:.1f} us per-column vs "
+        f"{report.fem_numeric_seconds_on * 1e6:.1f} us supernodal = "
+        f"{report.fem_time_ratio:.2f}x "
+        f"(gate >= {GATE_FEM_TIME_RATIO}x)",
+        f"  [{verdict(report.fem_launch_ok):>4s}] fem numeric launches "
+        f"{report.fem_launches_off} per-column vs "
+        f"{report.fem_launches_on} supernodal = "
+        f"{report.fem_launch_ratio:.2f}x "
+        f"(gate >= {GATE_FEM_LAUNCH_RATIO}x)",
+        f"  [{verdict(report.circuit_ok):>4s}] circuit partition "
+        f"{report.circuit_singleton_panels}/{report.circuit_panels} "
+        f"singleton panels = {report.circuit_singleton_fraction:.2f} "
+        f"(gate >= {GATE_CIRCUIT_SINGLETON_FRACTION})",
+        f"  [{verdict(report.bitwise_ok):>4s}] bitwise: "
+        f"{report.bitwise_checked} factor arrays compared, "
+        f"{report.bitwise_mismatches} mismatches",
+        f"  verdict: {'PASS' if report.passed else 'FAIL'}",
+    ]
+    return "\n".join(lines)
+
+
+def run_supernodal_bench_cli(*, smoke: bool = False, seed: int = 0) -> int:
+    report = run_supernodal_bench(smoke=smoke, seed=seed)
+    print(format_supernodal_report(report))
+    return 0 if report.passed else 1

@@ -41,6 +41,12 @@ Commands
               re-analysis on vs off; gates the amortized analysis-cost
               ratio, the family-donor splice hit rate and bitwise
               identity of every solution (see docs/incremental.md).
+``supernodal-bench`` factorize one FEM and one circuit registry
+              instance on the per-column oracle vs the supernodal panel
+              schedule; gates the FEM-class simulated-time and
+              kernel-launch reductions, the circuit-class
+              mostly-singleton partition, and bitwise factor identity
+              (see docs/supernodal.md).
 ``fault-drill``   run the four fault/recovery scenarios (flaky link,
               OOM storm, singular workload, dead device) and verify
               every one recovers or degrades to the CPU fallback, with
@@ -293,6 +299,12 @@ def cmd_drift_bench(args) -> int:
     from .bench.drift import run_drift_bench_cli
 
     return run_drift_bench_cli(smoke=args.smoke, seed=args.seed)
+
+
+def cmd_supernodal_bench(args) -> int:
+    from .bench.supernodal import run_supernodal_bench_cli
+
+    return run_supernodal_bench_cli(smoke=args.smoke, seed=args.seed)
 
 
 def cmd_perf(args) -> int:
@@ -587,6 +599,20 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--seed", type=int, default=0,
                     help="trace seed (same seed -> identical replay)")
     sp.set_defaults(fn=cmd_drift_bench)
+
+    sp = sub.add_parser(
+        "supernodal-bench",
+        help="factorize a FEM + circuit registry pair on the per-column "
+             "oracle vs the supernodal panel schedule; gates FEM "
+             "time/launch reductions, the circuit singleton split, and "
+             "bitwise factor identity",
+    )
+    sp.add_argument("--smoke", action="store_true",
+                    help="registry-scaled instances (CI-sized run)")
+    sp.add_argument("--seed", type=int, default=0,
+                    help="generator seed offset (same seed -> identical "
+                         "instances)")
+    sp.set_defaults(fn=cmd_supernodal_bench)
 
     sp = sub.add_parser(
         "perf",

@@ -46,6 +46,21 @@ class SolverConfig:
 
     #: numeric working-format choice; "auto" applies the §3.4 rule
     numeric_format: NumericFormat = "auto"
+    #: supernodal blocked numeric path: amalgamate columns with
+    #: (near-)identical L structure into panels and charge dense-block
+    #: panel factor / panel-panel update kernels instead of the per-level
+    #: scattered ones.  Factors, fill and pivots are bitwise-identical to
+    #: the per-column oracle (values are still computed by it); only the
+    #: simulated timeline and launch counters change — the same contract
+    #: the multi-GPU solver uses.  Off by default: the per-column path is
+    #: the paper's configuration.
+    supernodal: bool = False
+    #: relaxed-amalgamation padding budget: explicit zeros a member
+    #: column may gain when stored at its panel's dense shape (0 = strict
+    #: supernodes only, the classic criterion)
+    supernode_relax: int = 0
+    #: panel width cap (bounds the dense diagonal block a panel stores)
+    supernode_max_panel: int = 32
     #: device-side levelization (Alg. 5) vs host-launched / CPU fallbacks
     levelize_on_gpu: bool = True
     levelize_dynamic_parallelism: bool = True
@@ -110,6 +125,10 @@ class SolverConfig:
             raise ConfigurationError(
                 f"unknown numeric_format {self.numeric_format!r}"
             )
+        if self.supernode_relax < 0:
+            raise ConfigurationError("supernode_relax must be >= 0")
+        if self.supernode_max_panel < 1:
+            raise ConfigurationError("supernode_max_panel must be >= 1")
 
     @property
     def value_bytes(self) -> int:

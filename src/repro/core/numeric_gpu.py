@@ -30,6 +30,16 @@ Kernel-launch structure follows GLU 3.0's level taxonomy (§2.2):
 
 The ablation (`run_kernel_mode_ablation`) verifies the adaptive choice is
 never worse than forcing any single mode.
+
+With ``SolverConfig.supernodal`` the per-level scattered charging above is
+replaced by the blocked panel-wave schedule of
+:mod:`repro.numeric.supernodal`: singleton panels keep the scattered
+kernel (circuit-class matrices stay on the oracle's cost shape), while
+multi-column panels charge dense-block panel factor / panel-panel update
+kernels (``GPU.launch_panel``) with no binary-search term.  Values are
+*always* produced by :func:`factorize_with_pivot_recovery` either way —
+the per-column kernel is the differential oracle, and the supernodal path
+only re-models the timeline (factors, fill and pivots bitwise-identical).
 """
 
 from __future__ import annotations
@@ -60,6 +70,13 @@ class NumericResult:
     data_format: str  # "dense" or "csc"
     max_parallel_columns: int  # M for dense, TB_max for csc
     sim_seconds: float
+    #: which charging schedule ran: "per-column" or "supernodal"
+    numeric_path: str = "per-column"
+    #: supernodal summary (zeros on the per-column path)
+    panels: int = 0
+    panel_waves: int = 0
+    singleton_panels: int = 0
+    panel_coverage: float = 0.0
 
     def factors(self) -> tuple[CSCMatrix, CSCMatrix]:
         return extract_lu(self.As)
@@ -131,6 +148,127 @@ def factorize_with_pivot_recovery(
         return stats
 
 
+def _charge_per_column(
+    gpu: GPU,
+    filled: CSRMatrix,
+    schedule: LevelSchedule,
+    stats: NumericStats,
+    fmt: str,
+    cap: int,
+    n: int,
+    value_bytes: int,
+    kernel_mode_override: str | None,
+) -> None:
+    """Book the scattered per-level schedule (GLU 3.0 level taxonomy)."""
+    ledger = gpu.ledger
+    sub_cols = sub_column_counts(filled)
+    if kernel_mode_override is not None:
+        if kernel_mode_override not in ("A", "B", "C"):
+            raise ValueError("kernel_mode_override must be A, B or C")
+        tags = [kernel_mode_override] * schedule.num_levels
+    else:
+        tags = schedule.classify_levels(sub_cols)
+    for (flops, cols, updates, search), tag, level in zip(
+        stats.per_level, tags, schedule.levels
+    ):
+        if cols == 0:
+            continue
+        if tag == "C":
+            # one kernel per column, blocks = that column's sub-columns;
+            # flops apportioned by each column's share of the level's
+            # sub-column updates (uniform splitting would charge light
+            # columns heavy work at tiny occupancy)
+            weights = sub_cols[level].astype(float) + 1.0
+            weights /= weights.sum()
+            for j, w in zip(level, weights):
+                blocks = max(1, int(sub_cols[int(j)]))
+                ledger.count("numeric_kernel_launches")
+                gpu.launch_numeric(
+                    max(1, int(flops * w)),
+                    blocks,
+                    concurrency_cap=cap,
+                    search_steps=int(search * w),
+                )
+        elif tag == "A":
+            # type A: one kernel per level, one block per column (no
+            # sub-column teams — ample column parallelism assumed)
+            ledger.count("numeric_kernel_launches")
+            gpu.launch_numeric(
+                max(1, flops),
+                cols,
+                concurrency_cap=cap,
+                search_steps=search,
+            )
+        else:
+            # type B: one kernel per level; a block per column, with
+            # warp teams over sub-columns — concurrency counts
+            # sub-column work groups but is capped by the block's
+            # thread budget
+            blocks = max(
+                cols, min(updates, cols * WARP_TEAMS_PER_BLOCK)
+            )
+            ledger.count("numeric_kernel_launches")
+            gpu.launch_numeric(
+                max(1, flops),
+                blocks,
+                concurrency_cap=cap,
+                search_steps=search,
+            )
+        if fmt == "dense":
+            # scatter each column into its dense buffer and gather the
+            # results back: 2 x n x sizeof(dtype) HBM traffic per column
+            gpu.hbm_traffic(2 * cols * n * value_bytes)
+
+
+def _charge_supernodal(
+    gpu: GPU,
+    plan,
+    fmt: str,
+    cap: int,
+    n: int,
+    value_bytes: int,
+) -> None:
+    """Book the blocked panel-wave schedule (at most 3 kernels a wave).
+
+    Nested phases split the numeric bucket: ``numeric-columns`` holds the
+    scattered singleton kernels (oracle cost shape), ``numeric-panels``
+    the dense-block ones — ``breakdown()`` still reads the enclosing
+    ``numeric`` phase, benches read the split.  Singleton binary-search
+    probes are charged only in CSC format, exactly like the per-column
+    path; multi panels never probe (structure resolved once per panel).
+    """
+    ledger = gpu.ledger
+    for w in plan.waves:
+        if w.singleton_cols:
+            ledger.count("numeric_kernel_launches")
+            with ledger.phase("numeric-columns"):
+                gpu.launch_numeric(
+                    max(1, w.singleton_flops),
+                    w.singleton_blocks,
+                    concurrency_cap=cap,
+                    search_steps=(
+                        w.singleton_search if fmt == "csc" else 0
+                    ),
+                )
+        if w.multi_panels:
+            with ledger.phase("numeric-panels"):
+                ledger.count("numeric_kernel_launches")
+                gpu.launch_panel(
+                    max(1, w.factor_flops),
+                    max(1, w.factor_tiles),
+                    kind="panel-factor",
+                )
+                if w.update_flops:
+                    ledger.count("numeric_kernel_launches")
+                    gpu.launch_panel(
+                        w.update_flops,
+                        max(1, w.update_tiles),
+                        kind="panel-update",
+                    )
+        if fmt == "dense" and w.cols:
+            gpu.hbm_traffic(2 * w.cols * n * value_bytes)
+
+
 def choose_format(
     gpu: GPU, n: int, config: SolverConfig
 ) -> tuple[str, int]:
@@ -184,6 +322,25 @@ def numeric_factorize_gpu(
     ledger = gpu.ledger
     t0 = ledger.total_seconds
 
+    plan = None
+    # the kernel-mode ablation explicitly studies the per-column
+    # taxonomy, so an override always runs the scattered schedule
+    if config.supernodal and kernel_mode_override is None:
+        from ..numeric.supernodal import supernodal_plan_for
+
+        # panel formation is pattern-only analysis: it charges its own
+        # ``panelize`` phase (cache misses only — refactorization passes
+        # and analyze()-pre-warmed runs hit the schedule's plan cache),
+        # keeping the ``numeric`` phase a pure kernel-time comparison
+        plan = supernodal_plan_for(
+            filled,
+            schedule,
+            relax=config.supernode_relax,
+            max_panel=config.supernode_max_panel,
+            tile_elems=config.cost_model.panel_tile_elems,
+            gpu=gpu,
+        )
+
     with ledger.phase("numeric"):
         As = filled.to_csc()
         if As.data.dtype != config.compute_dtype:
@@ -206,60 +363,17 @@ def numeric_factorize_gpu(
             count_search_steps=(fmt == "csc"),
         )
 
-        sub_cols = sub_column_counts(filled)
-        if kernel_mode_override is not None:
-            if kernel_mode_override not in ("A", "B", "C"):
-                raise ValueError("kernel_mode_override must be A, B or C")
-            tags = [kernel_mode_override] * schedule.num_levels
+        if plan is not None:
+            # the panel schedule conserves the oracle's measured work
+            assert plan.total_flops == (
+                stats.div_flops + stats.update_flops
+            ), "supernodal plan lost flops vs the per-column oracle"
+            _charge_supernodal(gpu, plan, fmt, cap, n, val)
         else:
-            tags = schedule.classify_levels(sub_cols)
-        for (flops, cols, updates, search), tag, level in zip(
-            stats.per_level, tags, schedule.levels
-        ):
-            if cols == 0:
-                continue
-            if tag == "C":
-                # one kernel per column, blocks = that column's sub-columns;
-                # flops apportioned by each column's share of the level's
-                # sub-column updates (uniform splitting would charge light
-                # columns heavy work at tiny occupancy)
-                weights = sub_cols[level].astype(float) + 1.0
-                weights /= weights.sum()
-                for j, w in zip(level, weights):
-                    blocks = max(1, int(sub_cols[int(j)]))
-                    gpu.launch_numeric(
-                        max(1, int(flops * w)),
-                        blocks,
-                        concurrency_cap=cap,
-                        search_steps=int(search * w),
-                    )
-            elif tag == "A":
-                # type A: one kernel per level, one block per column (no
-                # sub-column teams — ample column parallelism assumed)
-                gpu.launch_numeric(
-                    max(1, flops),
-                    cols,
-                    concurrency_cap=cap,
-                    search_steps=search,
-                )
-            else:
-                # type B: one kernel per level; a block per column, with
-                # warp teams over sub-columns — concurrency counts
-                # sub-column work groups but is capped by the block's
-                # thread budget
-                blocks = max(
-                    cols, min(updates, cols * WARP_TEAMS_PER_BLOCK)
-                )
-                gpu.launch_numeric(
-                    max(1, flops),
-                    blocks,
-                    concurrency_cap=cap,
-                    search_steps=search,
-                )
-            if fmt == "dense":
-                # scatter each column into its dense buffer and gather the
-                # results back: 2 x n x sizeof(dtype) HBM traffic per column
-                gpu.hbm_traffic(2 * cols * n * val)
+            _charge_per_column(
+                gpu, filled, schedule, stats, fmt, cap, n, val,
+                kernel_mode_override,
+            )
 
         if dense_buffer is not None:
             gpu.free(dense_buffer)
@@ -280,6 +394,15 @@ def numeric_factorize_gpu(
         data_format=fmt,
         max_parallel_columns=m_report,
         sim_seconds=ledger.total_seconds - t0,
+        numeric_path="supernodal" if plan is not None else "per-column",
+        panels=plan.num_panels if plan is not None else 0,
+        panel_waves=plan.num_waves if plan is not None else 0,
+        singleton_panels=(
+            plan.singleton_panels if plan is not None else 0
+        ),
+        panel_coverage=(
+            float(plan.coverage()) if plan is not None else 0.0
+        ),
     )
 
 

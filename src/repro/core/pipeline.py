@@ -158,6 +158,14 @@ class EndToEndResult:
             "max_parallel_columns": int(self.numeric.max_parallel_columns),
             "kernel_launches": lg.get_count("kernel_launches"),
             "child_kernel_launches": lg.get_count("child_kernel_launches"),
+            "numeric_kernel_launches": lg.get_count(
+                "numeric_kernel_launches"
+            ),
+            "panel_kernel_launches": lg.get_count(
+                "panel_kernel_launches"
+            ),
+            "supernode_panels": int(self.numeric.panels),
+            "panel_waves": int(self.numeric.panel_waves),
             "bytes_h2d": lg.get_count("bytes_h2d"),
             "bytes_d2h": lg.get_count("bytes_d2h"),
             "pool_peak_bytes": int(self.gpu.pool.peak_bytes),
@@ -168,10 +176,15 @@ class EndToEndResult:
             "symbolic_seconds": float(bd.symbolic),
             "levelize_seconds": float(bd.levelize),
             "numeric_seconds": float(bd.numeric),
+            "panelize_seconds": float(lg.seconds("panelize")),
+            "numeric_panel_seconds": float(
+                lg.seconds("numeric-panels")
+            ),
             "pool_peak_utilization": float(self.gpu.pool.peak_utilization),
         }
         labels = {
             "numeric_format": str(self.numeric.data_format),
+            "numeric_path": str(self.numeric.numeric_path),
             "pipeline": self.label,
         }
         return {"counters": counters, "timings": timings, "labels": labels}
@@ -205,6 +218,14 @@ class EndToEndResult:
             f"  pivot growth max|U|/max|A|: "
             f"{pivot_growth(self.pre.matrix, self.U):.3g}",
         ]
+        if self.numeric.numeric_path == "supernodal":
+            lines.insert(
+                3,
+                f"  supernodes: {self.numeric.panels} panels "
+                f"({self.numeric.singleton_panels} singleton, "
+                f"coverage {self.numeric.panel_coverage:.2f}) in "
+                f"{self.numeric.panel_waves} waves",
+            )
         if self.recovery is not None and self.recovery.fired:
             lines.append("  " + self.recovery.summary())
         return "\n".join(lines)

@@ -206,6 +206,21 @@ def analyze(a: CSRMatrix, config: SolverConfig | None = None,
     sym = outofcore_symbolic(gpu, pre.matrix, cfg)
     graph = build_dependency_graph(sym.filled)
     lev = levelize_gpu_dynamic(gpu, graph, cfg)
+    if cfg.supernodal:
+        # pre-warm the panel schedule so it is charged (``panelize``)
+        # here with the other pattern-dependent phases; every
+        # refactorize pass then hits the plan cache for free — the same
+        # amortization real supernodal solvers get from their analysis
+        from ..numeric.supernodal import supernodal_plan_for
+
+        supernodal_plan_for(
+            sym.filled,
+            lev.schedule,
+            relax=cfg.supernode_relax,
+            max_panel=cfg.supernode_max_panel,
+            tile_elems=cfg.cost_model.panel_tile_elems,
+            gpu=gpu,
+        )
     # the reusable analysis keeps nothing device-resident between passes
     if sym.device_filled is not None:
         gpu.free(sym.device_filled)

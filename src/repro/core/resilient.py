@@ -249,6 +249,15 @@ class ResilientGPU(GPUProxy):
             ),
         )
 
+    def launch_panel(self, flops, tiles, *, kind="panel-factor",
+                     from_device=False):
+        return self._retry(
+            "panel",
+            lambda: self.inner.launch_panel(
+                flops, tiles, kind=kind, from_device=from_device,
+            ),
+        )
+
     def launch_utility(self, items, *, from_device=False):
         return self._retry(
             "utility",

@@ -6,6 +6,8 @@ container, any scipy.sparse matrix, or a dense 2-D array.
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 
 from ..sparse import CSRMatrix
@@ -26,16 +28,36 @@ def _as_csr(a) -> CSRMatrix:
     raise TypeError(f"cannot interpret {type(a)!r} as a sparse matrix")
 
 
-def factorize(a, config: SolverConfig | None = None) -> EndToEndResult:
+def factorize(
+    a,
+    config: SolverConfig | None = None,
+    *,
+    supernodal: bool | None = None,
+) -> EndToEndResult:
     """Run the end-to-end GPU LU pipeline on ``a`` and return the result.
 
     ``a`` may be a :class:`~repro.sparse.CSRMatrix`, a scipy.sparse matrix
     or a dense numpy array.  The result exposes ``solve(b)``, the factors
     ``L``/``U`` and the per-phase simulated-time breakdown.
+
+    ``supernodal`` overrides the config's numeric-path selection without
+    rebuilding the whole :class:`SolverConfig`: ``True`` runs the blocked
+    panel schedule, ``False`` the scattered per-column one.  Factors are
+    bitwise-identical either way (the per-column kernel remains the
+    differential oracle); only the simulated timeline changes.
     """
-    return EndToEndLU(config).factorize(_as_csr(a))
+    cfg = config or SolverConfig()
+    if supernodal is not None and supernodal != cfg.supernodal:
+        cfg = dataclasses.replace(cfg, supernodal=supernodal)
+    return EndToEndLU(cfg).factorize(_as_csr(a))
 
 
-def solve(a, b: np.ndarray, config: SolverConfig | None = None) -> np.ndarray:
+def solve(
+    a,
+    b: np.ndarray,
+    config: SolverConfig | None = None,
+    *,
+    supernodal: bool | None = None,
+) -> np.ndarray:
     """Solve ``A x = b`` with the end-to-end GPU LU pipeline."""
-    return factorize(a, config).solve(b)
+    return factorize(a, config, supernodal=supernodal).solve(b)

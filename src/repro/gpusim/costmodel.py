@@ -89,6 +89,32 @@ class CostModel:
     binary_search_step_cost: float = 0.08
 
     # ------------------------------------------------------------------
+    # Supernodal panel kernels (blocked numeric path): FLOP/s at full
+    # occupancy for the dense-block panel-factor / panel-panel-update
+    # kernels.  Columns amalgamated into a panel share one structure, so
+    # the kernels run coalesced BLAS-3-style loops with no per-entry
+    # binary searches — an order of magnitude above the scattered
+    # per-column rate (~10% of peak vs ~1%; the SuperLU-lineage gap the
+    # paper's §5 cites as the reason supernodal solvers win on FEM
+    # matrices).  Occupancy comes from dense *tiles*, not columns: a
+    # panel of any width decomposes into ``ceil(elems / panel_tile_elems)``
+    # independent thread-block tiles.
+    gpu_panel_flops: float = 2.4e11
+    # Elements of panel storage one thread-block tile covers (32x32).
+    panel_tile_elems: int = 1024
+    # Tiles in flight at which the panel kernels saturate the device.
+    # Dense tiles are compute-bound with deep ILP (every lane does an FMA
+    # per cycle), so a handful of resident tiles fills the SM pipelines —
+    # unlike the latency-bound scattered kernels, which idle on memory
+    # and need the full ``max_concurrent_blocks`` complement to hide it.
+    # Calibrated at the registry's scaled sizes (see module docstring):
+    # panels there are narrow, and without early saturation the blocked
+    # path would be *under*-occupied at exactly the scale the experiments
+    # run — inverting the §5 FEM-vs-circuit split the model exists to
+    # show.
+    panel_saturation_tiles: int = 8
+
+    # ------------------------------------------------------------------
     # CPU (modified GLU 3.0 baseline): per-thread traversal and flop rates,
     # with a parallel-efficiency knee — symbolic traversal is memory-bound
     # pointer chasing, so per-thread rates are far below clock speed.
@@ -174,6 +200,24 @@ class CostModel:
         occ = max(conc / device.max_concurrent_blocks, 1e-6)
         work = flops + self.binary_search_step_cost * search_steps
         return work / (self.gpu_numeric_flops * occ)
+
+    def gpu_panel_seconds(
+        self, flops: int, tiles: int, device: DeviceSpec
+    ) -> float:
+        """Compute time for a dense-block supernodal panel kernel.
+
+        ``tiles`` is the number of independent thread-block tiles the
+        wave's panel storage decomposes into (``panel_tile_elems`` each);
+        it plays the occupancy role ``blocks_in_flight`` plays for the
+        scattered kernel, but saturates at
+        :attr:`panel_saturation_tiles` (dense tiles are compute-bound,
+        not latency-bound).  No binary-search term: panel members share
+        one structure resolved once per panel, not once per access.
+        """
+        occ = max(
+            min(1.0, tiles / self.panel_saturation_tiles), 1e-6
+        )
+        return flops / (self.gpu_panel_flops * occ)
 
     def transfer_seconds(self, nbytes: int) -> float:
         """One explicit host<->device DMA of ``nbytes``."""

@@ -142,6 +142,30 @@ class GPU:
         self.ledger.charge(secs, "gpu_compute")
         return secs
 
+    def launch_panel(
+        self,
+        flops: int,
+        tiles: int,
+        *,
+        kind: str = "panel-factor",
+        from_device: bool = False,
+    ) -> float:
+        """Dense-block supernodal kernel (panel factor or panel-panel
+        update) performing ``flops`` over ``tiles`` thread-block tiles.
+
+        Charged at the blocked :attr:`~repro.gpusim.costmodel.CostModel.
+        gpu_panel_flops` rate — the whole point of amalgamating columns
+        into panels.  A ``panel_kernel_launches`` counter is kept beside
+        the generic launch counters so benchmarks can report the blocked
+        path's launch economy directly."""
+        self._launch_overhead(from_device)
+        secs = self.cost.gpu_panel_seconds(
+            int(flops), int(tiles), self.spec
+        )
+        self.ledger.charge(secs, "gpu_compute")
+        self.ledger.count("panel_kernel_launches")
+        return secs
+
     def launch_utility(self, items: int, *, from_device: bool = False) -> float:
         """Small regular kernel (prefix sum, init, compaction): full-width,
         bandwidth-friendly work over ``items`` elements."""

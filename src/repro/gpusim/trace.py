@@ -112,6 +112,18 @@ class TracingGPU(GPU):
         )
         return out
 
+    def launch_panel(self, flops, tiles, *, kind="panel-factor",
+                     from_device=False):  # noqa: D102
+        t0 = self.ledger.total_seconds
+        out = super().launch_panel(
+            flops, tiles, kind=kind, from_device=from_device,
+        )
+        self._record(
+            "panel_kernel", "kernel", t0,
+            flops=int(flops), tiles=int(tiles), kind=str(kind),
+        )
+        return out
+
     def launch_utility(self, items, *, from_device=False):  # noqa: D102
         t0 = self.ledger.total_seconds
         out = super().launch_utility(items, from_device=from_device)

@@ -14,7 +14,11 @@ from .etree import (
     etree_schedule,
 )
 from .sparsify import SparsifyStats, sparsify_for_levels
-from .supernodes import SupernodePartition, detect_supernodes
+from .supernodes import (
+    SupernodePartition,
+    amalgamate_supernodes,
+    detect_supernodes,
+)
 from .levelize import (
     LevelSchedule,
     TYPE_A_MAX_SUBCOLS,
@@ -32,6 +36,7 @@ __all__ = [
     "etree_schedule",
     "etree_height",
     "SupernodePartition",
+    "amalgamate_supernodes",
     "detect_supernodes",
     "sparsify_for_levels",
     "SparsifyStats",

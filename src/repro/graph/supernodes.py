@@ -9,6 +9,18 @@ from circuit simulation, it is hard to form supernodes or dense parts"*.
 This module detects (relaxed) supernodes on a filled pattern so that claim
 becomes measurable: FEM matrices form large supernodes, circuit matrices
 mostly don't (see the supernode ablation/tests).
+
+Two partitioners are provided:
+
+* :func:`detect_supernodes` — the classic pairwise criterion (column
+  ``j+1`` joins when its below-diagonal structure matches column ``j``'s
+  minus row ``j+1``, up to ``relax`` differing rows);
+* :func:`amalgamate_supernodes` — the panel builder the supernodal
+  numeric path uses: it grows contiguous panels under a *padding budget*
+  (every member column's structure, padded to the panel's dense
+  diagonal block plus the union of below-panel rows, gains at most
+  ``relax`` explicit zeros) and an optional ``max_panel`` width cap.
+  With ``relax=0`` it provably reproduces the strict detection.
 """
 
 from __future__ import annotations
@@ -51,6 +63,20 @@ class SupernodePartition:
         s = self.sizes()
         return float(s[s >= min_size].sum() / max(self.n, 1))
 
+    def singleton_fraction(self) -> float:
+        """Fraction of panels holding exactly one column (the degenerate
+        shape circuit matrices produce — the paper's §5 claim)."""
+        s = self.sizes()
+        if not len(s):
+            return 0.0
+        return float((s == 1).sum() / len(s))
+
+    def panel_of(self) -> np.ndarray:
+        """Panel index of every column (length ``n``, monotone)."""
+        return np.repeat(
+            np.arange(self.num_supernodes, dtype=INDEX_DTYPE), self.sizes()
+        )
+
 
 def detect_supernodes(
     filled: CSRMatrix, *, relax: int = 0
@@ -64,6 +90,11 @@ def detect_supernodes(
     """
     csc = filled.to_csc()
     n = csc.n_cols
+    if n == 0:
+        # an empty pattern has zero supernodes, not one zero-width panel
+        return SupernodePartition(
+            boundaries=np.zeros(1, dtype=INDEX_DTYPE)
+        )
     below: list[np.ndarray] = []
     for j in range(n):
         rows, _ = csc.col(j)
@@ -92,3 +123,90 @@ def _symmetric_difference_size(a: np.ndarray, b: np.ndarray) -> int:
     if len(a) == len(b) and np.array_equal(a, b):
         return 0
     return int(len(np.setxor1d(a, b, assume_unique=True)))
+
+
+def amalgamate_supernodes(
+    filled: CSRMatrix | None = None,
+    *,
+    relax: int = 0,
+    max_panel: int | None = None,
+    csc=None,
+) -> SupernodePartition:
+    """Partition columns into panels under a per-column padding budget.
+
+    A panel ``[c0, e)`` is stored as a dense ``(e - c0) x (e - c0)``
+    diagonal block plus one shared below-panel row set ``S`` (the union
+    of the members' rows ``>= e``).  Padding column ``c`` to that shape
+    adds ``pad(c) = (e - 1 - c) + |S| - b(c)`` explicit zeros, where
+    ``b(c)`` counts ``c``'s below-diagonal entries — the block rows of
+    ``c`` and its share of ``S`` are disjoint, so the count is exact.
+    The greedy scan admits column ``j`` into the open panel only while
+    ``max_c pad(c) <= relax`` (tracked incrementally via
+    ``min_c (c + b(c))``) and the panel stays within ``max_panel``.
+
+    ``relax=0`` admits exactly the strict supernode chains: zero padding
+    for every member forces ``below(c) = {c+1..e-1} ∪ S``, which is the
+    pairwise criterion of :func:`detect_supernodes`, and vice versa.
+
+    ``csc`` may pass a pre-built CSC of ``filled`` to skip the
+    conversion (the supernodal planner already holds one).
+    """
+    if relax < 0:
+        raise ValueError("relax must be >= 0")
+    if max_panel is not None and max_panel < 1:
+        raise ValueError("max_panel must be >= 1")
+    if csc is None:
+        csc = filled.to_csc()
+    n = csc.n_cols
+    if n == 0:
+        return SupernodePartition(
+            boundaries=np.zeros(1, dtype=INDEX_DTYPE)
+        )
+    cap = n if max_panel is None else int(max_panel)
+    indptr = csc.indptr.astype(np.int64, copy=False)
+    indices = csc.indices
+    # below-diagonal slice of each (sorted) column: rows strictly > j
+    below_start = np.empty(n, dtype=np.int64)
+    for j in range(n):
+        s, e = int(indptr[j]), int(indptr[j + 1])
+        below_start[j] = s + int(
+            np.searchsorted(indices[s:e], j, side="right")
+        )
+    b_len = indptr[1:] - below_start
+
+    in_union = np.zeros(n, dtype=bool)
+    boundaries = [0]
+
+    def _open_panel(j: int) -> tuple[int, int]:
+        """Start a fresh panel at column ``j``; returns (|S|, min c+b)."""
+        rows = indices[below_start[j] : int(indptr[j + 1])]
+        in_union[rows] = True
+        return int(b_len[j]), j + int(b_len[j])
+
+    union_size, min_cb = _open_panel(0)
+    c0 = 0
+    for j in range(1, n):
+        rows = indices[below_start[j] : int(indptr[j + 1])]
+        if j - c0 < cap:
+            # tentatively extend [c0, j) to [c0, j + 1): row j leaves the
+            # union (it becomes a diagonal-block row), below(j) joins it
+            drop_j = bool(in_union[j])
+            fresh = rows[~in_union[rows]]
+            new_size = union_size - int(drop_j) + len(fresh)
+            new_min = min(min_cb, j + int(b_len[j]))
+            if j + new_size - new_min <= relax:
+                in_union[j] = False
+                in_union[fresh] = True
+                union_size, min_cb = new_size, new_min
+                continue
+            # reject: undo nothing (the mask was not touched yet)
+        boundaries.append(j)
+        c0 = j
+        # clear the old union; rows >= j of the new column re-set below
+        in_union[:] = False
+        union_size, min_cb = _open_panel(j)
+    in_union[:] = False
+    boundaries.append(n)
+    return SupernodePartition(
+        boundaries=np.asarray(boundaries, dtype=INDEX_DTYPE)
+    )

@@ -12,6 +12,12 @@ from .ilu import ilu0, ilu0_preconditioner
 from .leftlooking import dense_lu_nopivot, factorize_leftlooking
 from .refine import RefinementResult, iterative_refinement, make_lu_solver
 from .rightlooking import NumericStats, extract_lu, factorize_in_place
+from .supernodal import (
+    PanelWave,
+    SupernodalPlan,
+    build_supernodal_plan,
+    supernodal_plan_for,
+)
 from .trisolve import (
     backward_substitute,
     backward_substitute_multi,
@@ -26,6 +32,10 @@ __all__ = [
     "NumericStats",
     "factorize_in_place",
     "extract_lu",
+    "PanelWave",
+    "SupernodalPlan",
+    "build_supernodal_plan",
+    "supernodal_plan_for",
     "factorize_leftlooking",
     "dense_lu_nopivot",
     "forward_substitute",

@@ -36,6 +36,11 @@ Four scenario families, each seeded and therefore bit-deterministic:
   bitwise-identity check, p99 recovery ratio, rerun determinism).
 * ``faults/drill`` — the four-scenario recovery-ladder drill (fault and
   recovery-action counts, outcomes, overheads).
+* ``supernodal/e2e`` — the blocked-numeric bench: one FEM and one
+  circuit registry instance factorized on the per-column oracle vs the
+  supernodal panel schedule (FEM time/launch ratios, circuit singleton
+  fraction, bitwise-identity flag — the gates of
+  ``repro supernodal-bench``).
 
 ``run_suite`` executes them all and returns a
 :class:`~repro.perf.snapshot.PerfSnapshot`.
@@ -321,6 +326,15 @@ def _drift_scenario(smoke: bool) -> ScenarioRecord:
     return ScenarioRecord.from_parts("serve/drift", report.perf_record())
 
 
+def _supernodal_scenario(smoke: bool) -> ScenarioRecord:
+    from ..bench.supernodal import run_supernodal_bench
+
+    report = run_supernodal_bench(smoke=smoke, seed=0)
+    return ScenarioRecord.from_parts(
+        "supernodal/e2e", report.perf_record()
+    )
+
+
 def _faults_scenario(smoke: bool) -> ScenarioRecord:
     from ..bench.fault_drill import run_fault_drill
 
@@ -351,6 +365,7 @@ def _scenarios(smoke: bool) -> dict[str, Callable[[], ScenarioRecord]]:
     runners["fleet/serve"] = partial(_fleet_scenario, smoke)
     runners["fleet/churn"] = partial(_churn_scenario, smoke)
     runners["faults/drill"] = partial(_faults_scenario, smoke)
+    runners["supernodal/e2e"] = partial(_supernodal_scenario, smoke)
     return runners
 
 

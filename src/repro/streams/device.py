@@ -376,6 +376,13 @@ class StreamedGPU(GPUProxy):
             search_steps=search_steps, from_device=from_device,
         )
 
+    def launch_panel(self, flops, tiles, *, kind="panel-factor",
+                     from_device=False):
+        self.synchronize()
+        return self.inner.launch_panel(
+            flops, tiles, kind=kind, from_device=from_device,
+        )
+
     def launch_utility(self, items, *, from_device=False):
         self.synchronize()
         return self.inner.launch_utility(items, from_device=from_device)

@@ -63,3 +63,38 @@ def test_multigpu_execution_record_identical():
     assert snap0 == snap1
     trace0, trace1 = (json.dumps(r.to_chrome_trace()) for r in runs)
     assert trace0 == trace1
+
+
+def test_supernodal_bench_report_byte_identical(capsys):
+    first = _run_cli(capsys, ["supernodal-bench", "--smoke", "--seed", "3"])
+    second = _run_cli(capsys, ["supernodal-bench", "--smoke", "--seed", "3"])
+    assert first == second
+    assert "verdict: PASS" in first
+
+
+def test_supernodal_run_and_scenario_identical():
+    """The supernodal e2e run (ledger snapshot + perf record) and the
+    committed ``supernodal/e2e`` perf scenario are pure functions of
+    (input, config) — rerunning produces byte-identical records."""
+    import dataclasses
+
+    from repro.core import EndToEndLU, SolverConfig
+    from repro.perf.suite import run_scenario
+    from repro.workloads.registry import by_abbr
+
+    a = dataclasses.replace(by_abbr("CR2"), n_scaled=96).generate()
+    runs = [
+        EndToEndLU(SolverConfig(supernodal=True)).factorize(a)
+        for _ in range(2)
+    ]
+    led0, led1 = (json.dumps(r.gpu.ledger.snapshot(), sort_keys=True)
+                  for r in runs)
+    assert led0 == led1
+    rec0, rec1 = (json.dumps(r.perf_record(), sort_keys=True)
+                  for r in runs)
+    assert rec0 == rec1
+
+    scen = [run_scenario("supernodal/e2e", smoke=True) for _ in range(2)]
+    s0, s1 = (json.dumps(dataclasses.asdict(s), sort_keys=True)
+              for s in scen)
+    assert s0 == s1

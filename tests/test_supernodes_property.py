@@ -1,0 +1,157 @@
+"""Property-based tests (hypothesis) on the supernode partitioners.
+
+The relaxed amalgamation (:func:`repro.graph.amalgamate_supernodes`) is
+the structural foundation the supernodal numeric path builds on; these
+properties pin its contract independently of any solver run:
+
+* boundaries always partition ``[0, n)`` exactly;
+* every admitted column respects the padding budget — storing it as the
+  panel's dense diagonal block plus the shared below-panel row union
+  adds at most ``relax`` explicit zeros;
+* ``relax=0`` reproduces the classic strict detection bit-for-bit;
+* ``max_panel`` caps every panel width;
+* degenerate inputs (empty, dense, diagonal) produce the obvious
+  partitions instead of crashing.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import (
+    SupernodePartition,
+    amalgamate_supernodes,
+    detect_supernodes,
+)
+from repro.sparse import CSRMatrix
+from repro.symbolic import symbolic_fill_reference
+
+from helpers import random_dense
+
+pytestmark = pytest.mark.supernodal
+
+
+@st.composite
+def filled_patterns(draw, max_n=28):
+    """A symbolically factorized (filled) pattern of a random matrix."""
+    n = draw(st.integers(1, max_n))
+    density = draw(st.floats(0.05, 0.5))
+    seed = draw(st.integers(0, 2**31 - 1))
+    a = CSRMatrix.from_dense(random_dense(n, density, seed=seed))
+    return symbolic_fill_reference(a)
+
+
+def _check_partition(part: SupernodePartition, n: int) -> None:
+    b = part.boundaries
+    assert b[0] == 0 and b[-1] == n
+    assert np.all(np.diff(b) >= 1) or n == 0
+    assert part.num_supernodes == len(b) - 1
+    assert int(part.sizes().sum()) == n
+    # panel_of is the inverse view: monotone, one entry per column
+    pf = part.panel_of()
+    assert len(pf) == n
+    if n:
+        assert pf[0] == 0 and pf[-1] == part.num_supernodes - 1
+        assert np.all(np.diff(pf) >= 0)
+    assert 0.0 <= part.singleton_fraction() <= 1.0
+
+
+# ---------------------------------------------------------------------------
+@given(filled_patterns(), st.integers(0, 6))
+@settings(max_examples=60, deadline=None)
+def test_boundaries_partition_all_columns(filled, relax):
+    part = amalgamate_supernodes(filled, relax=relax)
+    _check_partition(part, filled.n_cols)
+    strict = detect_supernodes(filled, relax=0)
+    _check_partition(strict, filled.n_cols)
+
+
+@given(filled_patterns(), st.integers(0, 6))
+@settings(max_examples=60, deadline=None)
+def test_members_respect_padding_budget(filled, relax):
+    """For every panel ``[c0, e)`` with below-panel row union ``S``:
+    ``pad(c) = (e - 1 - c) + |S| - b(c)`` is within ``[0, relax]`` for
+    each member ``c`` — the panel never stores more than ``relax``
+    explicit zeros per column, and members' structures really are
+    subsets of the padded shape."""
+    part = amalgamate_supernodes(filled, relax=relax)
+    csc = filled.to_csc()
+    cols = [
+        csc.indices[int(csc.indptr[j]) : int(csc.indptr[j + 1])]
+        for j in range(csc.n_cols)
+    ]
+    for c0, e in zip(part.boundaries[:-1], part.boundaries[1:]):
+        c0, e = int(c0), int(e)
+        union = np.unique(
+            np.concatenate(
+                [cols[c][cols[c] >= e] for c in range(c0, e)]
+                or [np.empty(0, dtype=np.int64)]
+            )
+        )
+        for c in range(c0, e):
+            below = cols[c][cols[c] > c]
+            pad = (e - 1 - c) + len(union) - len(below)
+            assert 0 <= pad <= relax, (c0, e, c)
+            # subset check: every below-diagonal row of c is either a
+            # panel diagonal-block row or in the shared union
+            in_block = below[below < e]
+            assert np.all(in_block <= e - 1)
+            assert np.all(np.isin(below[below >= e], union))
+
+
+@given(filled_patterns())
+@settings(max_examples=60, deadline=None)
+def test_relax_zero_equals_strict_detection(filled):
+    relaxed = amalgamate_supernodes(filled, relax=0)
+    strict = detect_supernodes(filled, relax=0)
+    assert np.array_equal(relaxed.boundaries, strict.boundaries)
+
+
+@given(filled_patterns(), st.integers(0, 6), st.integers(1, 8))
+@settings(max_examples=60, deadline=None)
+def test_max_panel_caps_width(filled, relax, cap):
+    part = amalgamate_supernodes(filled, relax=relax, max_panel=cap)
+    _check_partition(part, filled.n_cols)
+    assert part.max_size() <= cap
+
+
+# ---------------------------------------------------------------------------
+def test_empty_pattern_has_zero_supernodes():
+    empty = CSRMatrix.from_dense(np.zeros((0, 0)))
+    for part in (
+        amalgamate_supernodes(empty),
+        detect_supernodes(empty),
+    ):
+        assert part.num_supernodes == 0
+        assert part.n == 0
+        assert part.singleton_fraction() == 0.0
+        assert len(part.panel_of()) == 0
+
+
+def test_dense_pattern_is_one_panel():
+    n = 9
+    filled = CSRMatrix.from_dense(np.ones((n, n)))
+    part = amalgamate_supernodes(filled, relax=0)
+    assert np.array_equal(part.boundaries, [0, n])
+    assert part.coverage() == 1.0
+    capped = amalgamate_supernodes(filled, relax=0, max_panel=4)
+    assert capped.max_size() == 4
+
+
+def test_diagonal_pattern_is_all_singletons():
+    n = 7
+    filled = CSRMatrix.from_dense(np.eye(n))
+    part = amalgamate_supernodes(filled, relax=0)
+    assert part.num_supernodes == n
+    assert part.singleton_fraction() == 1.0
+    # one pad budget merges adjacent empty-below columns pairwise
+    relaxed = amalgamate_supernodes(filled, relax=1)
+    assert relaxed.num_supernodes < n
+
+
+def test_invalid_arguments_raise():
+    filled = CSRMatrix.from_dense(np.eye(3))
+    with pytest.raises(ValueError):
+        amalgamate_supernodes(filled, relax=-1)
+    with pytest.raises(ValueError):
+        amalgamate_supernodes(filled, max_panel=0)
